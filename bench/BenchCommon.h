@@ -1,0 +1,139 @@
+//===- bench/BenchCommon.h - Shared experiment harness helpers -*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure experiment binaries: the
+/// paper's technique-variant grid, workload/fairness runners, and the
+/// simulated-duration scaling hook (`PBT_SCALE`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCH_BENCHCOMMON_H
+#define PBT_BENCH_BENCHCOMMON_H
+
+#include "metrics/Fairness.h"
+#include "support/Env.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workload/Benchmarks.h"
+#include "workload/Runner.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace bench {
+
+/// The 18 technique variants of the paper's Table 2 / Fig. 3:
+/// BB[{10,15,20} x lookahead {0..3}], Int[{30,45,60}], Loop[{30,45,60}].
+inline std::vector<TransitionConfig> paperVariants() {
+  std::vector<TransitionConfig> Variants;
+  for (uint32_t MinSize : {10u, 15u, 20u})
+    for (uint32_t Lookahead : {0u, 1u, 2u, 3u}) {
+      TransitionConfig C;
+      C.Strat = Strategy::BasicBlock;
+      C.MinSize = MinSize;
+      C.Lookahead = Lookahead;
+      Variants.push_back(C);
+    }
+  for (uint32_t MinSize : {30u, 45u, 60u}) {
+    TransitionConfig C;
+    C.Strat = Strategy::Interval;
+    C.MinSize = MinSize;
+    Variants.push_back(C);
+  }
+  for (uint32_t MinSize : {30u, 45u, 60u}) {
+    TransitionConfig C;
+    C.Strat = Strategy::Loop;
+    C.MinSize = MinSize;
+    Variants.push_back(C);
+  }
+  return Variants;
+}
+
+/// Default tuner configuration used throughout the evaluation.
+inline TunerConfig defaultTuner(double Delta = 0.2) {
+  TunerConfig T;
+  T.IpcDelta = Delta;
+  return T;
+}
+
+/// One baseline-vs-technique workload comparison.
+struct Comparison {
+  RunResult Base;
+  RunResult Tuned;
+  FairnessMetrics BaseFair;
+  FairnessMetrics TunedFair;
+
+  double throughputImprovement() const {
+    return percentIncrease(static_cast<double>(Base.InstructionsRetired),
+                           static_cast<double>(Tuned.InstructionsRetired));
+  }
+  double avgTimeDecrease() const {
+    return percentDecrease(BaseFair.AvgProcessTime,
+                           TunedFair.AvgProcessTime);
+  }
+  double maxFlowDecrease() const {
+    return percentDecrease(BaseFair.MaxFlow, TunedFair.MaxFlow);
+  }
+  double maxStretchDecrease() const {
+    return percentDecrease(BaseFair.MaxStretch, TunedFair.MaxStretch);
+  }
+};
+
+/// Shared experiment context: built suite, isolated runtimes, baseline
+/// run cache keyed by (slots, horizon, seed).
+class Lab {
+public:
+  explicit Lab(MachineConfig MachineCfg = MachineConfig::quadAsymmetric())
+      : MachineCfg(std::move(MachineCfg)), Programs(buildSuite()),
+        Isolated(isolatedRuntimes(Programs, this->MachineCfg, Sim)) {}
+
+  const std::vector<Program> &programs() const { return Programs; }
+  const MachineConfig &machine() const { return MachineCfg; }
+  const SimConfig &sim() const { return Sim; }
+  const std::vector<double> &isolated() const { return Isolated; }
+
+  /// Runs one workload under \p Tech.
+  RunResult run(const TechniqueSpec &Tech, uint32_t Slots, double Horizon,
+                uint64_t Seed) const {
+    PreparedSuite Suite = prepareSuite(Programs, MachineCfg, Tech);
+    Workload W = Workload::random(
+        Slots, /*JobsPerSlot=*/512,
+        static_cast<uint32_t>(Programs.size()), Seed);
+    return runWorkload(Suite, W, MachineCfg, Sim, Horizon, Isolated);
+  }
+
+  /// Runs baseline + technique on identical queues and seeds.
+  Comparison compare(const TechniqueSpec &Tech, uint32_t Slots,
+                     double Horizon, uint64_t Seed) const {
+    Comparison C;
+    C.Base = run(TechniqueSpec::baseline(), Slots, Horizon, Seed);
+    C.Tuned = run(Tech, Slots, Horizon, Seed);
+    C.BaseFair = computeFairness(C.Base.Completed);
+    C.TunedFair = computeFairness(C.Tuned.Completed);
+    return C;
+  }
+
+private:
+  MachineConfig MachineCfg;
+  SimConfig Sim;
+  std::vector<Program> Programs;
+  std::vector<double> Isolated;
+};
+
+/// Prints the standard header line for an experiment binary.
+inline void printHeader(const char *Experiment, const char *PaperRef) {
+  std::printf("== %s ==\n(reproduces %s; PBT_SCALE=%.2f scales the "
+              "simulated horizon)\n\n",
+              Experiment, PaperRef, envScale());
+}
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCH_BENCHCOMMON_H

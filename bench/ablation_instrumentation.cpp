@@ -1,0 +1,66 @@
+//===- bench/ablation_instrumentation.cpp - Paper Sec. III ----------------===//
+//
+// Instrumentation-strategy ablation: the paper's finely tuned marks
+// (code specialization, live-register analysis, instruction motion)
+// against an ATOM-style general trampoline (full register save/restore).
+// Paper claims instrumented binaries run ~10x faster with the tuned
+// strategy when code is inserted before every basic block; here we
+// compare the per-mark execution cost on the naive every-block marking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  printHeader("Sec. III: tuned vs ATOM-style instrumentation",
+              "CGO'11 Sec. III");
+
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  std::vector<Program> Programs = buildSuite();
+  // Isolate pure instrumentation cost: the paper's ATOM comparison
+  // measures the inserted analysis code, not affinity-API calls.
+  SimConfig Sim;
+  Sim.AffinityApiCycles = 0;
+
+  // Naive marking (every differently-typed edge, no size filter)
+  // maximizes mark executions, as in the paper's ATOM comparison.
+  TransitionConfig Naive;
+  Naive.Strat = Strategy::BasicBlock;
+  Naive.Naive = true;
+  Naive.MinSize = 0;
+
+  Table T({"benchmark", "tuned ovh %", "atom ovh %", "ratio"});
+  std::vector<double> Ratios;
+  for (uint32_t Bench = 0; Bench < Programs.size(); Bench += 2) {
+    std::vector<Program> One{Programs[Bench]};
+
+    // Overhead measured from the per-process instrumentation-cycle
+    // accounting (exact, noise-free): cycles spent inside marks over
+    // cycles spent on program work.
+    auto OverheadWith = [&](MarkCostModel Cost) {
+      TechniqueSpec Tech = TechniqueSpec::tuned(Naive, defaultTuner());
+      Tech.Tuner.SwitchToAllCores = true;
+      Tech.Cost = Cost;
+      PreparedSuite Suite = prepareSuite(One, MC, Tech);
+      CompletedJob Job = runIsolated(Suite, 0, MC, Sim);
+      double Work = Job.Stats.CyclesConsumed - Job.Stats.OverheadCycles;
+      return 100.0 * Job.Stats.OverheadCycles / Work;
+    };
+
+    double Tuned = OverheadWith(MarkCostModel::tuned());
+    double Atom = OverheadWith(MarkCostModel::atomStyle());
+    double Ratio = Tuned > 0 ? Atom / Tuned : 0;
+    if (Ratio > 0)
+      Ratios.push_back(Ratio);
+    T.addRow({Programs[Bench].Name, Table::fmt(Tuned, 3),
+              Table::fmt(Atom, 3), Table::fmt(Ratio, 1)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nmean overhead ratio (ATOM / tuned): %.1fx "
+              "(paper: ~10x faster with the tuned strategy)\n",
+              mean(Ratios));
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/ablation_static_typing.cpp - Paper Sec. II-A3 ----------------===//
+//
+// Accuracy of the proof-of-concept static block typing (instruction mix
+// + reuse-distance estimate + k-means) against the behavioural oracle,
+// and its end-to-end effect. Paper claims the static analysis
+// misclassifies only ~15% of loops, accurate enough that results do not
+// suffer (cf. Fig. 7's error tolerance).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "analysis/BlockTyping.h"
+#include "sim/CostModel.h"
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  printHeader("Sec. II-A3: static typing accuracy vs oracle",
+              "CGO'11 Sec. II-A3");
+
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  std::vector<Program> Programs = buildSuite();
+
+  Table T({"benchmark", "blocks", "disagreement %"});
+  std::vector<double> Disagreements;
+  for (const Program &Prog : Programs) {
+    CostModel Cost(Prog, MC);
+    ProgramTyping Oracle = computeOracleTyping(Prog, Cost);
+    ProgramTyping Static = computeStaticTyping(Prog, TypingConfig());
+    double D = 100.0 * Static.disagreement(Oracle);
+    Disagreements.push_back(D);
+    T.addRow({Prog.Name, Table::fmtInt(static_cast<long long>(
+                             Prog.blockCount())),
+              Table::fmt(D, 2)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nmean disagreement: %.2f%% (paper: ~15%% of loops "
+              "misclassified)\n\n", mean(Disagreements));
+
+  // End-to-end: oracle typing vs static typing under Loop[45].
+  Lab L;
+  double Horizon = 300 * envScale();
+  TransitionConfig Loop45;
+  Loop45.Strat = Strategy::Loop;
+  Loop45.MinSize = 45;
+
+  RunResult Base = L.run(TechniqueSpec::baseline(), 18, Horizon, 9);
+  TechniqueSpec OracleTech = TechniqueSpec::tuned(Loop45, defaultTuner());
+  RunResult WithOracle = L.run(OracleTech, 18, Horizon, 9);
+  TechniqueSpec StaticTech = OracleTech;
+  StaticTech.UseStaticTyping = true;
+  RunResult WithStatic = L.run(StaticTech, 18, Horizon, 9);
+
+  std::printf("end-to-end throughput improvement vs baseline:\n"
+              "  oracle typing: %+.2f%%\n  static typing: %+.2f%%\n",
+              percentIncrease(
+                  static_cast<double>(Base.InstructionsRetired),
+                  static_cast<double>(WithOracle.InstructionsRetired)),
+              percentIncrease(
+                  static_cast<double>(Base.InstructionsRetired),
+                  static_cast<double>(WithStatic.InstructionsRetired)));
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench/fig5_cycles_per_switch.cpp - Paper Fig. 5 --------------------===//
+//
+// Average cycles of useful work per core switch, per benchmark, on a log
+// scale. Paper's point: the work between switches dwarfs the ~1000-cycle
+// switch cost by many orders of magnitude, so switching is amortized.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  printHeader("Fig. 5: average cycles per core switch (log scale)",
+              "CGO'11 Fig. 5");
+
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  std::vector<Program> Programs = buildSuite();
+  TransitionConfig Loop45;
+  Loop45.Strat = Strategy::Loop;
+  Loop45.MinSize = 45;
+  PreparedSuite Suite =
+      prepareSuite(Programs, MC, TechniqueSpec::tuned(Loop45,
+                                                      defaultTuner(0.2)));
+  SimConfig Sim;
+  uint32_t SwitchCost = Suite.Images[0]->cost().SwitchCycles;
+
+  Table T({"benchmark", "cycles/switch", "log10", "x switch cost"});
+  for (uint32_t Bench = 0; Bench < Programs.size(); ++Bench) {
+    CompletedJob Job = runIsolated(Suite, Bench, MC, Sim);
+    if (Job.Stats.CoreSwitches == 0) {
+      T.addRow({Programs[Bench].Name, "no switches", "-", "-"});
+      continue;
+    }
+    double PerSwitch = Job.Stats.CyclesConsumed /
+                       static_cast<double>(Job.Stats.CoreSwitches);
+    T.addRow({Programs[Bench].Name,
+              Table::fmtInt(static_cast<long long>(PerSwitch)),
+              Table::fmt(std::log10(PerSwitch), 2),
+              Table::fmt(PerSwitch / SwitchCost, 1)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nswitch cost: %u cycles. paper reference: most benchmarks "
+              "amortize each switch over >= 10^4 x its cost\n",
+              SwitchCost);
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===- bench/fig8_speedup_vs_fairness.cpp - Paper Fig. 8 ------------------===//
+//
+// The speedup-vs-fairness trade-off: average-process-time decrease
+// (speedup) against max-stretch decrease (fairness) per variant. Paper's
+// shape: interval and loop variants balance both; several BB variants
+// trade fairness away for throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  printHeader("Fig. 8: speedup vs fairness scatter", "CGO'11 Fig. 8");
+
+  Lab L;
+  double Horizon = 400 * envScale();
+  uint32_t Slots = 18;
+  uint64_t Seed = 21;
+
+  Table T({"technique", "speedup: avg time %", "fairness: max-stretch %"});
+  for (const TransitionConfig &Variant : paperVariants()) {
+    Comparison C = L.compare(TechniqueSpec::tuned(Variant,
+                                                  defaultTuner(0.15)),
+                             Slots, Horizon, Seed);
+    T.addRow({Variant.label(), Table::fmt(C.avgTimeDecrease(), 2),
+              Table::fmt(C.maxStretchDecrease(), 2)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\npaper reference shape: Int/Loop variants in the "
+              "upper-right (both positive); BB variants scatter, several "
+              "with negative fairness\n");
+  return 0;
+}

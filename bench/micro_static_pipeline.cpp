@@ -1,0 +1,119 @@
+//===- bench/micro_static_pipeline.cpp - static pass microbenchmarks ------===//
+//
+// google-benchmark microbenchmarks of the static pipeline: block typing,
+// interval partition, natural loops, transition analysis per strategy.
+// These bound the "compile-time" cost of phase-based tuning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockTyping.h"
+#include "analysis/Intervals.h"
+#include "analysis/NaturalLoops.h"
+#include "core/Instrument.h"
+#include "core/Transitions.h"
+#include "sim/CostModel.h"
+#include "workload/Benchmarks.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pbt;
+
+namespace {
+
+const Program &bigProgram() {
+  static Program Prog = buildBenchmark(specSuite()[14]); // 410.bwaves.
+  return Prog;
+}
+
+const ProgramTyping &bigTyping() {
+  static ProgramTyping Typing =
+      computeStaticTyping(bigProgram(), TypingConfig());
+  return Typing;
+}
+
+} // namespace
+
+static void BM_StaticTyping(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  for (auto _ : State) {
+    ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+    benchmark::DoNotOptimize(Typing.NumTypes);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Prog.blockCount()));
+}
+BENCHMARK(BM_StaticTyping);
+
+static void BM_OracleTyping(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  CostModel Cost(Prog, MachineConfig::quadAsymmetric());
+  for (auto _ : State) {
+    ProgramTyping Typing = computeOracleTyping(Prog, Cost);
+    benchmark::DoNotOptimize(Typing.NumTypes);
+  }
+}
+BENCHMARK(BM_OracleTyping);
+
+static void BM_IntervalPartition(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  for (auto _ : State)
+    for (const Procedure &P : Prog.Procs) {
+      IntervalPartition Part = computeIntervals(P);
+      benchmark::DoNotOptimize(Part.Intervals.size());
+    }
+}
+BENCHMARK(BM_IntervalPartition);
+
+static void BM_NaturalLoops(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  for (auto _ : State)
+    for (const Procedure &P : Prog.Procs) {
+      LoopInfo Info = computeLoops(P);
+      benchmark::DoNotOptimize(Info.Loops.size());
+    }
+}
+BENCHMARK(BM_NaturalLoops);
+
+static void BM_Transitions(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  const ProgramTyping &Typing = bigTyping();
+  Strategy Strat = static_cast<Strategy>(State.range(0));
+  TransitionConfig Config;
+  Config.Strat = Strat;
+  Config.MinSize = Strat == Strategy::BasicBlock ? 15 : 45;
+  for (auto _ : State) {
+    MarkingResult R = computeTransitions(Prog, Typing, Config);
+    benchmark::DoNotOptimize(R.Marks.size());
+  }
+}
+BENCHMARK(BM_Transitions)
+    ->Arg(static_cast<int>(Strategy::BasicBlock))
+    ->Arg(static_cast<int>(Strategy::Interval))
+    ->Arg(static_cast<int>(Strategy::Loop));
+
+static void BM_Instrument(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  const ProgramTyping &Typing = bigTyping();
+  TransitionConfig Config;
+  Config.Strat = Strategy::Loop;
+  Config.MinSize = 45;
+  MarkingResult Marks = computeTransitions(Prog, Typing, Config);
+  for (auto _ : State) {
+    MarkingResult Copy = Marks;
+    InstrumentedProgram Image(Prog, std::move(Copy));
+    benchmark::DoNotOptimize(Image.instrumentedByteSize());
+  }
+}
+BENCHMARK(BM_Instrument);
+
+static void BM_CostModelBuild(benchmark::State &State) {
+  const Program &Prog = bigProgram();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  for (auto _ : State) {
+    CostModel Cost(Prog, MC);
+    benchmark::DoNotOptimize(Cost.blockInsts(0, 0));
+  }
+}
+BENCHMARK(BM_CostModelBuild);
+
+BENCHMARK_MAIN();

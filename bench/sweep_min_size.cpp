@@ -1,0 +1,53 @@
+//===- bench/sweep_min_size.cpp - Paper Sec. IV-C4 ------------------------===//
+//
+// Minimum-section-size sweep for all three strategies. Paper's shape:
+// smaller minimum sizes mark more (small, frequent) sections, generally
+// raising throughput potential but costing overhead and fairness; larger
+// minimum sizes may miss small hot loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  printHeader("Sec. IV-C4: minimum section size sweep", "CGO'11 Sec. IV-C4");
+
+  Lab L;
+  double Horizon = 400 * envScale();
+  uint32_t Slots = 18;
+  uint64_t Seed = 44;
+
+  struct Entry {
+    Strategy Strat;
+    uint32_t MinSize;
+  };
+  std::vector<Entry> Entries = {
+      {Strategy::BasicBlock, 10}, {Strategy::BasicBlock, 15},
+      {Strategy::BasicBlock, 20}, {Strategy::Interval, 30},
+      {Strategy::Interval, 45},   {Strategy::Interval, 60},
+      {Strategy::Loop, 30},       {Strategy::Loop, 45},
+      {Strategy::Loop, 60},
+  };
+
+  Table T({"technique", "throughput %", "avg time %", "marks fired",
+           "switches"});
+  for (const Entry &E : Entries) {
+    TransitionConfig C;
+    C.Strat = E.Strat;
+    C.MinSize = E.MinSize;
+    Comparison Cmp = L.compare(TechniqueSpec::tuned(C, defaultTuner(0.15)),
+                               Slots, Horizon, Seed);
+    T.addRow({C.label(), Table::fmt(Cmp.throughputImprovement(), 2),
+              Table::fmt(Cmp.avgTimeDecrease(), 2),
+              Table::fmtInt(static_cast<long long>(Cmp.Tuned.TotalMarks)),
+              Table::fmtInt(
+                  static_cast<long long>(Cmp.Tuned.TotalSwitches))});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\npaper reference shape: smaller minimum sizes fire more "
+              "marks; the balance point is mid-range (e.g. Loop[45])\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- examples/phase_report.cpp - Static-analysis explorer ---------------===//
+//
+// Dumps the static side of phase-based tuning for one benchmark: the
+// CFG, per-block typing (oracle vs k-means), interval partition, natural
+// loops with Algorithm 1 summaries, and the phase marks each strategy
+// would insert. Usage: phase_report [benchmark-name-substring]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockTyping.h"
+#include "analysis/Intervals.h"
+#include "analysis/NaturalLoops.h"
+#include "core/Summaries.h"
+#include "core/Transitions.h"
+#include "sim/CostModel.h"
+#include "workload/Benchmarks.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace pbt;
+
+int main(int argc, char **argv) {
+  const char *Filter = argc > 1 ? argv[1] : "equake";
+
+  Program Prog;
+  bool Found = false;
+  for (const BenchSpec &Spec : specSuite()) {
+    if (Spec.Name.find(Filter) == std::string::npos)
+      continue;
+    Prog = buildBenchmark(Spec);
+    Found = true;
+    break;
+  }
+  if (!Found) {
+    std::printf("no benchmark matches '%s'; available:\n", Filter);
+    for (const BenchSpec &Spec : specSuite())
+      std::printf("  %s\n", Spec.Name.c_str());
+    return 1;
+  }
+
+  std::printf("%s: %zu procedures, %zu blocks, %zu instructions, "
+              "%llu bytes\n\n",
+              Prog.Name.c_str(), Prog.Procs.size(), Prog.blockCount(),
+              Prog.instructionCount(),
+              static_cast<unsigned long long>(Prog.byteSize()));
+
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  CostModel Cost(Prog, MC);
+  ProgramTyping Oracle = computeOracleTyping(Prog, Cost);
+  ProgramTyping Static = computeStaticTyping(Prog, TypingConfig());
+  std::printf("static k-means typing disagrees with the behavioural "
+              "oracle on %.1f%% of blocks\n\n",
+              100.0 * Static.disagreement(Oracle));
+
+  // Detailed walk of the executed procedures (main + direct callees).
+  for (size_t ProcId = 0; ProcId < Prog.Procs.size() && ProcId < 4;
+       ++ProcId) {
+    const Procedure &P = Prog.Procs[ProcId];
+    if (P.Name.find("_cold") != std::string::npos)
+      continue;
+    std::printf("procedure %s\n", P.Name.c_str());
+    IntervalPartition Intervals = computeIntervals(P);
+    LoopInfo Loops = computeLoops(P);
+    auto LoopSums = summarizeLoops(P, Loops, Oracle.TypeOf[P.Id],
+                                   Oracle.NumTypes, {}, {});
+    for (const BasicBlock &BB : P.Blocks) {
+      std::printf("  bb%-3u %4zu insts  type=%u (kmeans %u)  "
+                  "interval=%u  loop-depth=%u  ipc %.2f/%.2f\n",
+                  BB.Id, BB.size(), Oracle.typeOf(P.Id, BB.Id),
+                  Static.typeOf(P.Id, BB.Id),
+                  Intervals.IntervalOf[BB.Id], Loops.depthOf(BB.Id),
+                  Cost.blockIpc(P.Id, BB.Id, 0),
+                  Cost.blockIpc(P.Id, BB.Id, 1));
+    }
+    for (uint32_t L = 0; L < Loops.Loops.size(); ++L)
+      std::printf("  loop@bb%u: %zu blocks, dominant type %u, "
+                  "strength %.2f%s\n",
+                  Loops.Loops[L].Header, Loops.Loops[L].Blocks.size(),
+                  LoopSums.Summaries[L].DominantType,
+                  LoopSums.Summaries[L].Strength,
+                  LoopSums.isSelected(L) ? " [selected]" : " [folded]");
+    std::printf("\n");
+  }
+
+  // Marks per strategy.
+  for (Strategy S :
+       {Strategy::BasicBlock, Strategy::Interval, Strategy::Loop}) {
+    TransitionConfig C;
+    C.Strat = S;
+    C.MinSize = S == Strategy::BasicBlock ? 15 : 45;
+    MarkingResult R = computeTransitions(Prog, Oracle, C);
+    std::printf("%-9s -> %3zu phase marks", C.label().c_str(),
+                R.Marks.size());
+    size_t Shown = 0;
+    for (const PhaseMark &M : R.Marks) {
+      if (Prog.Procs[M.Proc].Name.find("_cold") != std::string::npos)
+        continue;
+      if (++Shown > 6)
+        break;
+      std::printf("%s %s:bb%u%s->type%u", Shown == 1 ? " [" : ", ",
+                  Prog.Procs[M.Proc].Name.c_str(), M.Block,
+                  M.Point == MarkPoint::CallSite ? "(call)" : "",
+                  M.PhaseType);
+    }
+    std::printf("%s\n", Shown ? "]" : "");
+  }
+  return 0;
+}

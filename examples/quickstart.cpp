@@ -1,0 +1,100 @@
+//===- examples/quickstart.cpp - End-to-end phase-based tuning tour -------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Walks the whole pipeline on one benchmark and one small workload:
+//
+//   1. build a SPEC-like program,
+//   2. type its basic blocks, find phase transitions, insert phase marks,
+//   3. run it alone on the simulated asymmetric quad (2x2.4 + 2x1.6),
+//   4. replay a small multi-programmed workload under the oblivious
+//      baseline scheduler and under phase-based tuning, and compare.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Instrument.h"
+#include "core/Transitions.h"
+#include "metrics/Fairness.h"
+#include "workload/Benchmarks.h"
+#include "workload/Runner.h"
+
+#include <cstdio>
+
+using namespace pbt;
+
+int main() {
+  // --- 1. Build a benchmark with strong phase behaviour. ---------------
+  std::vector<BenchSpec> Specs = specSuite();
+  const BenchSpec &Spec = Specs[5]; // 183.equake: alternating phases.
+  Program Prog = buildBenchmark(Spec);
+  std::printf("benchmark %s: %zu procs, %zu blocks, %zu instructions\n",
+              Prog.Name.c_str(), Prog.Procs.size(), Prog.blockCount(),
+              Prog.instructionCount());
+
+  // --- 2. Static analysis: type blocks, mark transitions. --------------
+  MachineConfig MachineCfg = MachineConfig::quadAsymmetric();
+  CostModel Cost(Prog, MachineCfg);
+  ProgramTyping Typing = computeOracleTyping(Prog, Cost);
+
+  TransitionConfig Transition;
+  Transition.Strat = Strategy::Loop;
+  Transition.MinSize = 45;
+  MarkingResult Marking = computeTransitions(Prog, Typing, Transition);
+  InstrumentedProgram Image(Prog, Marking);
+  std::printf("%s: %zu phase marks, %.2f%% space overhead\n",
+              Transition.label().c_str(), Image.marks().size(),
+              Image.spaceOverheadPercent());
+
+  // --- 3. Run alone: watch the tuner learn and switch. ------------------
+  std::vector<Program> One;
+  One.push_back(Prog);
+  TunerConfig Tuner;
+  Tuner.IpcDelta = 0.2;
+  TechniqueSpec Tech = TechniqueSpec::tuned(Transition, Tuner);
+  PreparedSuite Tuned = prepareSuite(One, MachineCfg, Tech);
+  SimConfig Sim;
+  CompletedJob Alone = runIsolated(Tuned, 0, MachineCfg, Sim);
+  std::printf("isolated: %.2f s, %llu core switches, %llu marks fired\n",
+              Alone.Completion - Alone.Arrival,
+              static_cast<unsigned long long>(Alone.Stats.CoreSwitches),
+              static_cast<unsigned long long>(Alone.Stats.MarksFired));
+
+  // --- 4. Multi-programmed workload: baseline vs phase-based tuning. ----
+  std::vector<Program> Programs = buildSuite();
+  Workload W = Workload::random(/*NumSlots=*/18, /*JobsPerSlot=*/96,
+                                static_cast<uint32_t>(Programs.size()),
+                                /*Seed=*/7);
+  std::vector<double> Isolated = isolatedRuntimes(Programs, MachineCfg, Sim);
+
+  PreparedSuite Base =
+      prepareSuite(Programs, MachineCfg, TechniqueSpec::baseline());
+  PreparedSuite Phase = prepareSuite(Programs, MachineCfg, Tech);
+
+  double Horizon = 200;
+  RunResult BaseRun =
+      runWorkload(Base, W, MachineCfg, Sim, Horizon, Isolated);
+  RunResult PhaseRun =
+      runWorkload(Phase, W, MachineCfg, Sim, Horizon, Isolated);
+
+  FairnessMetrics BaseFair = computeFairness(BaseRun.Completed);
+  FairnessMetrics PhaseFair = computeFairness(PhaseRun.Completed);
+
+  std::printf("\nworkload of %u slots over %.0f simulated seconds:\n",
+              W.numSlots(), Horizon);
+  std::printf("  throughput: %+.2f%% instructions vs baseline\n",
+              percentIncrease(
+                  static_cast<double>(BaseRun.InstructionsRetired),
+                  static_cast<double>(PhaseRun.InstructionsRetired)));
+  std::printf("  avg process time: %.2f s -> %.2f s (%.2f%% decrease)\n",
+              BaseFair.AvgProcessTime, PhaseFair.AvgProcessTime,
+              percentDecrease(BaseFair.AvgProcessTime,
+                              PhaseFair.AvgProcessTime));
+  std::printf("  max-stretch: %.2f -> %.2f (%.2f%% decrease)\n",
+              BaseFair.MaxStretch, PhaseFair.MaxStretch,
+              percentDecrease(BaseFair.MaxStretch, PhaseFair.MaxStretch));
+  std::printf("  jobs completed: %zu -> %zu\n", BaseFair.Jobs,
+              PhaseFair.Jobs);
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- analysis/BlockTyping.cpp - Static phase types Π --------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockTyping.h"
+
+#include "analysis/KMeans.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace pbt;
+
+double ProgramTyping::disagreement(const ProgramTyping &Other) const {
+  assert(TypeOf.size() == Other.TypeOf.size() && "program shape mismatch");
+  size_t Total = 0;
+  size_t Differ = 0;
+  for (size_t P = 0; P < TypeOf.size(); ++P) {
+    assert(TypeOf[P].size() == Other.TypeOf[P].size() &&
+           "procedure shape mismatch");
+    for (size_t B = 0; B < TypeOf[P].size(); ++B) {
+      ++Total;
+      if (TypeOf[P][B] != Other.TypeOf[P][B])
+        ++Differ;
+    }
+  }
+  return Total == 0 ? 0.0
+                    : static_cast<double>(Differ) / static_cast<double>(Total);
+}
+
+ProgramTyping pbt::computeStaticTyping(const Program &Prog,
+                                       const TypingConfig &Config) {
+  assert(Config.NumTypes >= 1 && "need at least one phase type");
+  ProgramTyping Typing;
+  Typing.NumTypes = Config.NumTypes;
+  Typing.TypeOf.resize(Prog.Procs.size());
+
+  // Flatten all blocks into one point cloud so the clustering is global:
+  // the same phase type can span procedures (the paper's clusters are
+  // program-wide).
+  std::vector<Point2D> Points;
+  std::vector<std::pair<uint32_t, uint32_t>> Owner;
+  for (const Procedure &P : Prog.Procs) {
+    Typing.TypeOf[P.Id].assign(P.Blocks.size(), 0);
+    for (const BasicBlock &BB : P.Blocks) {
+      BlockFeatures F = computeFeatures(BB, Config.ReferenceCacheLines);
+      Points.push_back(F.typingPoint());
+      Owner.emplace_back(P.Id, BB.Id);
+    }
+  }
+  if (Points.empty())
+    return Typing;
+
+  // Normalize each axis to [0, 1] so the two feature scales are
+  // commensurate before clustering.
+  for (int Axis = 0; Axis < 2; ++Axis) {
+    double Lo = Points[0][Axis];
+    double Hi = Points[0][Axis];
+    for (const Point2D &Pt : Points) {
+      Lo = std::min(Lo, Pt[Axis]);
+      Hi = std::max(Hi, Pt[Axis]);
+    }
+    double Span = Hi - Lo;
+    if (Span <= 0)
+      continue;
+    for (Point2D &Pt : Points)
+      Pt[Axis] = (Pt[Axis] - Lo) / Span;
+  }
+
+  Rng Gen(Config.Seed);
+  KMeansResult Clusters = kmeans(Points, Config.NumTypes, Gen);
+
+  // Canonicalize: order cluster labels by ascending centroid position
+  // along (memory axis + cache axis), so type 0 is the most compute-bound
+  // regardless of k-means initialization.
+  std::vector<uint32_t> ByScore(Config.NumTypes);
+  std::iota(ByScore.begin(), ByScore.end(), 0);
+  auto Score = [&](uint32_t C) {
+    return Clusters.Centroids[C][0] + Clusters.Centroids[C][1];
+  };
+  std::sort(ByScore.begin(), ByScore.end(),
+            [&](uint32_t A, uint32_t B) { return Score(A) < Score(B); });
+  std::vector<uint32_t> Relabel(Config.NumTypes);
+  for (uint32_t NewLabel = 0; NewLabel < Config.NumTypes; ++NewLabel)
+    Relabel[ByScore[NewLabel]] = NewLabel;
+
+  for (size_t I = 0; I < Points.size(); ++I) {
+    auto [ProcId, BlockId] = Owner[I];
+    Typing.TypeOf[ProcId][BlockId] = Relabel[Clusters.Assign[I]];
+  }
+  return Typing;
+}

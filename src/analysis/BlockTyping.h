@@ -1,0 +1,62 @@
+//===- analysis/BlockTyping.h - Static phase types Π ------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns every basic block of a program a *phase type* pi in Π
+/// (Sec. II-A3): extract 2-D features, run k-means, and canonicalize the
+/// cluster labels so that type ids ascend with memory-boundedness
+/// (type 0 = most compute-bound). The paper notes "other methods for
+/// classifying basic blocks can also be used"; ProgramTyping is therefore
+/// a plain data object that other classifiers (e.g. the simulator's
+/// behavioural oracle, or error-injected typings) can also produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ANALYSIS_BLOCKTYPING_H
+#define PBT_ANALYSIS_BLOCKTYPING_H
+
+#include "analysis/Features.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+/// Configuration of the static typing pass.
+struct TypingConfig {
+  /// Number of phase types (clusters). Two core types need two clusters
+  /// (paper Sec. IV-C3); more are supported.
+  uint32_t NumTypes = 2;
+  /// Reference cache size for the static miss estimate, in 64-byte lines.
+  /// Default 2 MiB, half of the 4 MiB shared L2 of the paper's machine.
+  uint32_t ReferenceCacheLines = 32768;
+  /// Seed for k-means.
+  uint64_t Seed = 42;
+};
+
+/// A phase-type assignment for every block of a program.
+struct ProgramTyping {
+  /// TypeOf[procId][blockId] = phase type in [0, NumTypes).
+  std::vector<std::vector<uint32_t>> TypeOf;
+  uint32_t NumTypes = 0;
+
+  uint32_t typeOf(uint32_t Proc, uint32_t Block) const {
+    return TypeOf[Proc][Block];
+  }
+
+  /// Fraction of blocks whose type differs from \p Other (weighted per
+  /// block). Used to quantify static-typing error against an oracle.
+  double disagreement(const ProgramTyping &Other) const;
+};
+
+/// Runs the paper's proof-of-concept static typing over \p Prog.
+ProgramTyping computeStaticTyping(const Program &Prog,
+                                  const TypingConfig &Config);
+
+} // namespace pbt
+
+#endif // PBT_ANALYSIS_BLOCKTYPING_H

@@ -1,0 +1,133 @@
+//===- analysis/CallGraph.cpp - Call graph and bottom-up order -----------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pbt;
+
+bool CallGraph::isRecursive(uint32_t Proc) const {
+  assert(Proc < Callees.size() && "procedure out of range");
+  for (uint32_t Callee : Callees[Proc])
+    if (Callee == Proc || SccId[Callee] == SccId[Proc])
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over the call graph.
+class TarjanScc {
+public:
+  explicit TarjanScc(const std::vector<std::vector<uint32_t>> &Adj)
+      : Adj(Adj), Index(Adj.size(), -1), LowLink(Adj.size(), 0),
+        OnStack(Adj.size(), false), SccOf(Adj.size(), 0) {}
+
+  void run() {
+    for (uint32_t V = 0; V < Adj.size(); ++V)
+      if (Index[V] < 0)
+        strongConnect(V);
+  }
+
+  std::vector<uint32_t> SccOfNode() const { return SccOf; }
+  uint32_t sccCount() const { return NextScc; }
+
+private:
+  void strongConnect(uint32_t Root) {
+    // Explicit stack frames: (node, next child index).
+    std::vector<std::pair<uint32_t, size_t>> Frames{{Root, 0}};
+    push(Root);
+    while (!Frames.empty()) {
+      auto &[V, Child] = Frames.back();
+      if (Child < Adj[V].size()) {
+        uint32_t W = Adj[V][Child++];
+        if (Index[W] < 0) {
+          push(W);
+          Frames.emplace_back(W, 0);
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], static_cast<uint32_t>(Index[W]));
+        }
+        continue;
+      }
+      // Pop frame; fold lowlink into parent, emit SCC if V is a root.
+      if (LowLink[V] == static_cast<uint32_t>(Index[V])) {
+        while (true) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccOf[W] = NextScc;
+          if (W == V)
+            break;
+        }
+        ++NextScc;
+      }
+      uint32_t Low = LowLink[V];
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        uint32_t Parent = Frames.back().first;
+        LowLink[Parent] = std::min(LowLink[Parent], Low);
+      }
+    }
+  }
+
+  void push(uint32_t V) {
+    Index[V] = static_cast<int32_t>(NextIndex);
+    LowLink[V] = NextIndex;
+    ++NextIndex;
+    Stack.push_back(V);
+    OnStack[V] = true;
+  }
+
+  const std::vector<std::vector<uint32_t>> &Adj;
+  std::vector<int32_t> Index;
+  std::vector<uint32_t> LowLink;
+  std::vector<bool> OnStack;
+  std::vector<uint32_t> SccOf;
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+  uint32_t NextScc = 0;
+};
+
+} // namespace
+
+CallGraph pbt::buildCallGraph(const Program &Prog) {
+  CallGraph Cg;
+  size_t N = Prog.Procs.size();
+  Cg.Callees.resize(N);
+  Cg.Callers.resize(N);
+
+  for (const Procedure &P : Prog.Procs) {
+    for (const BasicBlock &BB : P.Blocks) {
+      int32_t Callee = BB.calleeOrNone();
+      if (Callee < 0)
+        continue;
+      Cg.Callees[P.Id].push_back(static_cast<uint32_t>(Callee));
+    }
+    auto &List = Cg.Callees[P.Id];
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+    for (uint32_t Callee : List)
+      Cg.Callers[Callee].push_back(P.Id);
+  }
+
+  TarjanScc Scc(Cg.Callees);
+  Scc.run();
+  Cg.SccId = Scc.SccOfNode();
+
+  // Tarjan emits SCCs in reverse topological order of the condensation:
+  // an SCC is emitted only after all SCCs it can reach. Ordering
+  // procedures by ascending SCC id therefore yields callees-first.
+  Cg.BottomUpOrder.resize(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Cg.BottomUpOrder[I] = I;
+  std::stable_sort(Cg.BottomUpOrder.begin(), Cg.BottomUpOrder.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     return Cg.SccId[A] < Cg.SccId[B];
+                   });
+  return Cg;
+}

@@ -1,0 +1,47 @@
+//===- analysis/CallGraph.h - Call graph and bottom-up order ---*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph with Tarjan SCCs. The paper's loop-level analysis is
+/// inter-procedural and performs "a bottom-up typing with respect to the
+/// call graph", re-analyzing recursive cliques until a fixpoint
+/// (Sec. II-A1c); BottomUpOrder provides the traversal order and SccId
+/// identifies the recursive cliques.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ANALYSIS_CALLGRAPH_H
+#define PBT_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+/// Call graph of a program (procedure-level).
+struct CallGraph {
+  /// Deduplicated callee lists per procedure.
+  std::vector<std::vector<uint32_t>> Callees;
+  /// Deduplicated caller lists per procedure.
+  std::vector<std::vector<uint32_t>> Callers;
+  /// Procedures ordered callees-first (bottom-up over the SCC DAG).
+  std::vector<uint32_t> BottomUpOrder;
+  /// SCC id per procedure; ids are dense and assigned bottom-up.
+  std::vector<uint32_t> SccId;
+
+  /// Returns true when \p Proc participates in (possibly indirect)
+  /// recursion, i.e. is in a non-trivial SCC or calls itself.
+  bool isRecursive(uint32_t Proc) const;
+};
+
+/// Builds the call graph of \p Prog.
+CallGraph buildCallGraph(const Program &Prog);
+
+} // namespace pbt
+
+#endif // PBT_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,73 @@
+//===- analysis/CfgAlgorithms.cpp - DFS, edges, preds ---------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgAlgorithms.h"
+
+#include <algorithm>
+
+using namespace pbt;
+
+bool CfgDfsResult::isBackEdge(uint32_t Src, uint32_t SuccIndex) const {
+  CfgEdge Probe{Src, SuccIndex};
+  return std::binary_search(BackEdges.begin(), BackEdges.end(), Probe);
+}
+
+CfgDfsResult pbt::runDfs(const Procedure &P) {
+  CfgDfsResult Result;
+  size_t N = P.Blocks.size();
+  Result.Reachable.assign(N, false);
+
+  // Iterative DFS with an explicit frame (block, next successor index).
+  // OnStack tracks the grey set for back-edge classification.
+  std::vector<bool> OnStack(N, false);
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  Stack.reserve(N);
+
+  Stack.emplace_back(0, 0);
+  Result.Reachable[0] = true;
+  OnStack[0] = true;
+  Result.Preorder.push_back(0);
+
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    const BasicBlock &BB = P.Blocks[Block];
+    if (NextSucc >= BB.Succs.size()) {
+      Result.Postorder.push_back(Block);
+      OnStack[Block] = false;
+      Stack.pop_back();
+      continue;
+    }
+    uint32_t SuccIndex = NextSucc++;
+    uint32_t Target = BB.Succs[SuccIndex];
+    if (OnStack[Target]) {
+      Result.BackEdges.push_back({Block, SuccIndex});
+      continue;
+    }
+    if (Result.Reachable[Target])
+      continue;
+    Result.Reachable[Target] = true;
+    OnStack[Target] = true;
+    Result.Preorder.push_back(Target);
+    Stack.emplace_back(Target, 0);
+  }
+
+  std::sort(Result.BackEdges.begin(), Result.BackEdges.end());
+  return Result;
+}
+
+std::vector<std::vector<uint32_t>> pbt::predecessors(const Procedure &P) {
+  std::vector<std::vector<uint32_t>> Preds(P.Blocks.size());
+  for (const BasicBlock &BB : P.Blocks)
+    for (uint32_t Succ : BB.Succs)
+      Preds[Succ].push_back(BB.Id);
+  return Preds;
+}
+
+std::vector<uint32_t> pbt::reversePostorder(const Procedure &P) {
+  CfgDfsResult Dfs = runDfs(P);
+  std::vector<uint32_t> Rpo(Dfs.Postorder.rbegin(), Dfs.Postorder.rend());
+  return Rpo;
+}

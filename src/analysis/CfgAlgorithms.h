@@ -1,0 +1,70 @@
+//===- analysis/CfgAlgorithms.h - DFS, edges, preds -------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic control-flow graph utilities shared by the interval and loop
+/// analyses: depth-first orders, backward/forward edge classification (the
+/// b/f edge attribute of the paper's attributed CFGs), and predecessor
+/// lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ANALYSIS_CFGALGORITHMS_H
+#define PBT_ANALYSIS_CFGALGORITHMS_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pbt {
+
+/// A directed CFG edge (source block, successor index). Identifying edges
+/// by successor *index* rather than target keeps parallel edges distinct
+/// and is how phase marks address their insertion points.
+struct CfgEdge {
+  uint32_t Src = 0;
+  uint32_t SuccIndex = 0;
+
+  bool operator==(const CfgEdge &Other) const {
+    return Src == Other.Src && SuccIndex == Other.SuccIndex;
+  }
+  bool operator<(const CfgEdge &Other) const {
+    return std::pair(Src, SuccIndex) < std::pair(Other.Src, Other.SuccIndex);
+  }
+};
+
+/// Result of a depth-first traversal from the procedure entry.
+struct CfgDfsResult {
+  /// Blocks in depth-first preorder (reachable blocks only).
+  std::vector<uint32_t> Preorder;
+  /// Blocks in depth-first postorder (reachable blocks only).
+  std::vector<uint32_t> Postorder;
+  /// Per-block flag: reachable from the entry.
+  std::vector<bool> Reachable;
+  /// Edges (u, succIndex) whose target is a DFS ancestor of u: the
+  /// backward edges `b` of the paper's attributed CFG. For the reducible
+  /// graphs produced by IRBuilder these coincide with loop back edges.
+  std::vector<CfgEdge> BackEdges;
+
+  /// Returns true if the edge is classified backward.
+  bool isBackEdge(uint32_t Src, uint32_t SuccIndex) const;
+};
+
+/// Runs an iterative DFS over \p P starting at its entry block.
+CfgDfsResult runDfs(const Procedure &P);
+
+/// Predecessor lists: Preds[b] contains each block with an edge into b
+/// (repeated once per parallel edge).
+std::vector<std::vector<uint32_t>> predecessors(const Procedure &P);
+
+/// Blocks in reverse postorder (reachable blocks only).
+std::vector<uint32_t> reversePostorder(const Procedure &P);
+
+} // namespace pbt
+
+#endif // PBT_ANALYSIS_CFGALGORITHMS_H

@@ -1,0 +1,73 @@
+//===- analysis/Dominators.cpp - Iterative dominator tree ----------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "analysis/CfgAlgorithms.h"
+
+#include <cassert>
+
+using namespace pbt;
+
+DominatorTree::DominatorTree(const Procedure &P) {
+  size_t N = P.Blocks.size();
+  Idom.assign(N, -1);
+
+  std::vector<uint32_t> Rpo = reversePostorder(P);
+  std::vector<int32_t> RpoNumber(N, -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = static_cast<int32_t>(I);
+
+  auto Preds = predecessors(P);
+  Idom[0] = 0;
+
+  // Cooper-Harvey-Kennedy: intersect along the idom chains, walking in
+  // reverse postorder until a fixpoint.
+  auto Intersect = [&](int32_t A, int32_t B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = Idom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Block : Rpo) {
+      if (Block == 0)
+        continue;
+      int32_t NewIdom = -1;
+      for (uint32_t Pred : Preds[Block]) {
+        if (RpoNumber[Pred] < 0 || Idom[Pred] < 0)
+          continue; // Unprocessed or unreachable predecessor.
+        NewIdom = NewIdom < 0 ? static_cast<int32_t>(Pred)
+                              : Intersect(NewIdom, static_cast<int32_t>(Pred));
+      }
+      if (NewIdom >= 0 && Idom[Block] != NewIdom) {
+        Idom[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  assert(A < Idom.size() && B < Idom.size() && "block out of range");
+  if (Idom[A] < 0 || Idom[B] < 0)
+    return false;
+  uint32_t Cursor = B;
+  while (true) {
+    if (Cursor == A)
+      return true;
+    uint32_t Up = static_cast<uint32_t>(Idom[Cursor]);
+    if (Up == Cursor)
+      return false; // Reached the entry.
+    Cursor = Up;
+  }
+}

@@ -1,0 +1,44 @@
+//===- analysis/Dominators.h - Iterative dominator tree --------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate-dominator computation (Cooper–Harvey–Kennedy iterative
+/// algorithm). Feeds the natural-loop analysis used by the paper's
+/// inter-procedural loop summarization (Sec. II-A1c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ANALYSIS_DOMINATORS_H
+#define PBT_ANALYSIS_DOMINATORS_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+/// Dominator tree for one procedure.
+class DominatorTree {
+public:
+  /// Builds the tree for \p P. Unreachable blocks get Idom == -1.
+  explicit DominatorTree(const Procedure &P);
+
+  /// Immediate dominator of \p Block; the entry's idom is itself;
+  /// -1 for unreachable blocks.
+  int32_t idom(uint32_t Block) const { return Idom[Block]; }
+
+  /// Returns true when \p A dominates \p B (reflexive). Unreachable
+  /// blocks dominate nothing and are dominated by nothing.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<int32_t> Idom;
+};
+
+} // namespace pbt
+
+#endif // PBT_ANALYSIS_DOMINATORS_H

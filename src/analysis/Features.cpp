@@ -1,0 +1,37 @@
+//===- analysis/Features.cpp - Static block features ----------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Features.h"
+
+#include "analysis/ReuseDistance.h"
+
+#include <cmath>
+
+using namespace pbt;
+
+BlockFeatures pbt::computeFeatures(const BasicBlock &BB,
+                                   uint32_t ReferenceCacheLines) {
+  BlockFeatures F;
+  if (BB.Insts.empty())
+    return F;
+
+  size_t Mem = 0;
+  size_t Fp = 0;
+  for (const Instruction &I : BB.Insts) {
+    if (isMemoryKind(I.Kind))
+      ++Mem;
+    else if (I.Kind == InstKind::FpAlu)
+      ++Fp;
+  }
+  double Total = static_cast<double>(BB.Insts.size());
+  F.MemFrac = static_cast<double>(Mem) / Total;
+  F.FpFrac = static_cast<double>(Fp) / Total;
+
+  ReuseProfile Profile = computeBlockReuse(BB);
+  F.MissRate = Profile.missRate(ReferenceCacheLines);
+  F.LogReuse = std::log2(1.0 + Profile.meanDistance());
+  return F;
+}

@@ -1,0 +1,54 @@
+//===- analysis/Features.h - Static block features --------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-dimensional feature space of the paper's proof-of-concept block
+/// typing (Sec. II-A3): one axis combines instruction types, the other is
+/// the rough reuse-distance-based cache estimate. Blocks are later grouped
+/// in this space with k-means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ANALYSIS_FEATURES_H
+#define PBT_ANALYSIS_FEATURES_H
+
+#include "ir/Program.h"
+
+#include <array>
+#include <cstdint>
+
+namespace pbt {
+
+/// Static features of one basic block.
+struct BlockFeatures {
+  /// Fraction of memory operations among the block's instructions.
+  double MemFrac = 0;
+  /// Fraction of floating-point operations.
+  double FpFrac = 0;
+  /// Estimated miss rate at the reference cache size.
+  double MissRate = 0;
+  /// log2(1 + mean stack distance), a compact locality scale.
+  double LogReuse = 0;
+
+  /// Projects the features onto the paper's 2-D typing space:
+  /// [instruction-type axis, cache-behaviour axis]. The first axis is
+  /// memory intensity (loads/stores dominate the distinction between
+  /// frequency-loving and stall-tolerant code); the second is the
+  /// estimated miss rate scaled by memory intensity, i.e. expected misses
+  /// per instruction.
+  std::array<double, 2> typingPoint() const {
+    return {MemFrac, MemFrac * MissRate};
+  }
+};
+
+/// Extracts features of \p BB using a fully-associative reference cache of
+/// \p ReferenceCacheLines 64-byte lines.
+BlockFeatures computeFeatures(const BasicBlock &BB,
+                              uint32_t ReferenceCacheLines);
+
+} // namespace pbt
+
+#endif // PBT_ANALYSIS_FEATURES_H

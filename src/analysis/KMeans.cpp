@@ -1,0 +1,115 @@
+//===- analysis/KMeans.cpp - 2-D k-means clustering ------------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KMeans.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace pbt;
+
+static double sqDist(const Point2D &A, const Point2D &B) {
+  double Dx = A[0] - B[0];
+  double Dy = A[1] - B[1];
+  return Dx * Dx + Dy * Dy;
+}
+
+KMeansResult pbt::kmeans(const std::vector<Point2D> &Points, uint32_t K,
+                         Rng &Gen, uint32_t MaxIterations) {
+  assert(K >= 1 && "need at least one cluster");
+  assert(!Points.empty() && "need at least one point");
+
+  KMeansResult Result;
+  size_t N = Points.size();
+
+  // k-means++ seeding: first centroid uniform, the rest D^2-weighted.
+  Result.Centroids.push_back(Points[Gen.nextBelow(N)]);
+  std::vector<double> BestDist(N, std::numeric_limits<double>::max());
+  while (Result.Centroids.size() < K) {
+    double Total = 0;
+    for (size_t I = 0; I < N; ++I) {
+      BestDist[I] =
+          std::min(BestDist[I], sqDist(Points[I], Result.Centroids.back()));
+      Total += BestDist[I];
+    }
+    size_t Chosen = 0;
+    if (Total <= 0) {
+      // All points coincide with existing centroids; pick any.
+      Chosen = Gen.nextBelow(N);
+    } else {
+      double Target = Gen.nextDouble() * Total;
+      double Acc = 0;
+      for (size_t I = 0; I < N; ++I) {
+        Acc += BestDist[I];
+        if (Acc >= Target) {
+          Chosen = I;
+          break;
+        }
+      }
+    }
+    Result.Centroids.push_back(Points[Chosen]);
+  }
+
+  Result.Assign.assign(N, 0);
+  for (uint32_t Iter = 0; Iter < MaxIterations; ++Iter) {
+    ++Result.Iterations;
+    bool Changed = false;
+
+    // Assignment step.
+    for (size_t I = 0; I < N; ++I) {
+      uint32_t Best = 0;
+      double BestD = std::numeric_limits<double>::max();
+      for (uint32_t C = 0; C < K; ++C) {
+        double D = sqDist(Points[I], Result.Centroids[C]);
+        if (D < BestD) {
+          BestD = D;
+          Best = C;
+        }
+      }
+      if (Result.Assign[I] != Best) {
+        Result.Assign[I] = Best;
+        Changed = true;
+      }
+    }
+
+    // Update step; reseed empty clusters onto the farthest point.
+    std::vector<Point2D> Sums(K, {0, 0});
+    std::vector<uint32_t> Counts(K, 0);
+    for (size_t I = 0; I < N; ++I) {
+      Sums[Result.Assign[I]][0] += Points[I][0];
+      Sums[Result.Assign[I]][1] += Points[I][1];
+      ++Counts[Result.Assign[I]];
+    }
+    for (uint32_t C = 0; C < K; ++C) {
+      if (Counts[C] > 0) {
+        Result.Centroids[C] = {Sums[C][0] / Counts[C],
+                               Sums[C][1] / Counts[C]};
+        continue;
+      }
+      size_t Farthest = 0;
+      double FarD = -1;
+      for (size_t I = 0; I < N; ++I) {
+        double D = sqDist(Points[I], Result.Centroids[Result.Assign[I]]);
+        if (D > FarD) {
+          FarD = D;
+          Farthest = I;
+        }
+      }
+      Result.Centroids[C] = Points[Farthest];
+      Result.Assign[Farthest] = C;
+      Changed = true;
+    }
+
+    if (!Changed)
+      break;
+  }
+
+  Result.Inertia = 0;
+  for (size_t I = 0; I < N; ++I)
+    Result.Inertia += sqDist(Points[I], Result.Centroids[Result.Assign[I]]);
+  return Result;
+}

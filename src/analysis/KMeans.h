@@ -1,0 +1,48 @@
+//===- analysis/KMeans.h - 2-D k-means clustering ---------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lloyd's k-means with k-means++ seeding over 2-D points, cited by the
+/// paper (MacQueen 1967) for grouping basic blocks in the typing space.
+/// Deterministic for a given RNG seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ANALYSIS_KMEANS_H
+#define PBT_ANALYSIS_KMEANS_H
+
+#include "support/Rng.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+using Point2D = std::array<double, 2>;
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster index per input point.
+  std::vector<uint32_t> Assign;
+  /// Final centroids (size k).
+  std::vector<Point2D> Centroids;
+  /// Lloyd iterations executed.
+  uint32_t Iterations = 0;
+  /// Sum of squared distances to assigned centroids.
+  double Inertia = 0;
+};
+
+/// Clusters \p Points into \p K groups. When there are fewer distinct
+/// points than K, surplus clusters end up empty and are reseeded onto the
+/// farthest points, so every cluster index in [0, K) remains valid.
+/// Asserts K >= 1 and Points non-empty.
+KMeansResult kmeans(const std::vector<Point2D> &Points, uint32_t K, Rng &Gen,
+                    uint32_t MaxIterations = 100);
+
+} // namespace pbt
+
+#endif // PBT_ANALYSIS_KMEANS_H

@@ -1,0 +1,54 @@
+//===- core/ErrorInjection.cpp - Clustering-error injection ---------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorInjection.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+using namespace pbt;
+
+ProgramTyping pbt::injectClusteringError(const ProgramTyping &Typing,
+                                         double ErrorFraction,
+                                         uint64_t Seed) {
+  ProgramTyping Out = Typing;
+  if (Out.NumTypes < 2)
+    return Out;
+  ErrorFraction = std::clamp(ErrorFraction, 0.0, 1.0);
+
+  std::vector<std::pair<uint32_t, uint32_t>> Blocks;
+  for (uint32_t P = 0; P < Out.TypeOf.size(); ++P)
+    for (uint32_t B = 0; B < Out.TypeOf[P].size(); ++B)
+      Blocks.emplace_back(P, B);
+  if (Blocks.empty())
+    return Out;
+
+  size_t FlipCount = static_cast<size_t>(
+      std::ceil(ErrorFraction * static_cast<double>(Blocks.size())));
+  FlipCount = std::min(FlipCount, Blocks.size());
+
+  // Partial Fisher-Yates: the first FlipCount entries become a uniform
+  // random sample without replacement.
+  Rng Gen(Seed);
+  for (size_t I = 0; I < FlipCount; ++I) {
+    size_t J = I + Gen.nextBelow(Blocks.size() - I);
+    std::swap(Blocks[I], Blocks[J]);
+  }
+
+  for (size_t I = 0; I < FlipCount; ++I) {
+    auto [P, B] = Blocks[I];
+    uint32_t Old = Out.TypeOf[P][B];
+    // Uniform over the other types: shift by 1..NumTypes-1.
+    uint32_t Shift =
+        1 + static_cast<uint32_t>(Gen.nextBelow(Out.NumTypes - 1));
+    Out.TypeOf[P][B] = (Old + Shift) % Out.NumTypes;
+  }
+  return Out;
+}

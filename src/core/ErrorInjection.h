@@ -1,0 +1,32 @@
+//===- core/ErrorInjection.h - Clustering-error injection -------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 7 methodology: "after determining the clustering of blocks, a
+/// percentage of blocks were randomly selected and placed into the
+/// opposite cluster." Generalized to k types by moving a block to a
+/// uniformly random *different* type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_CORE_ERRORINJECTION_H
+#define PBT_CORE_ERRORINJECTION_H
+
+#include "analysis/BlockTyping.h"
+
+#include <cstdint>
+
+namespace pbt {
+
+/// Returns a copy of \p Typing with ceil(ErrorFraction * numBlocks)
+/// randomly chosen blocks reassigned to a different type. \p ErrorFraction
+/// is clamped to [0, 1]; determinism follows from \p Seed.
+ProgramTyping injectClusteringError(const ProgramTyping &Typing,
+                                    double ErrorFraction, uint64_t Seed);
+
+} // namespace pbt
+
+#endif // PBT_CORE_ERRORINJECTION_H

@@ -1,0 +1,139 @@
+//===- core/Tuner.cpp - Dynamic analysis & core assignment ----------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Tuner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace pbt;
+
+uint32_t pbt::selectOptimalCoreType(const std::vector<double> &IpcByCoreType,
+                                    double Delta) {
+  assert(!IpcByCoreType.empty() && "need at least one core type");
+  // Sort core-type indices ascending by measured IPC: C sorted such that
+  // i > j => f(ci) > f(cj).
+  std::vector<uint32_t> Order(IpcByCoreType.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return IpcByCoreType[A] < IpcByCoreType[B];
+  });
+
+  uint32_t Pick = Order[0];
+  for (size_t I = 0; I + 1 < Order.size(); ++I) {
+    double Theta = IpcByCoreType[Order[I + 1]] - IpcByCoreType[Order[I]];
+    if (Theta > Delta && IpcByCoreType[Order[I + 1]] > IpcByCoreType[Pick])
+      Pick = Order[I + 1];
+  }
+  return Pick;
+}
+
+PhaseTuner::PhaseTuner(uint32_t NumPhaseTypesIn, uint32_t NumCoreTypesIn,
+                       TunerConfig ConfigIn)
+    : NumPhaseTypes(NumPhaseTypesIn), NumCoreTypes(NumCoreTypesIn),
+      Config(ConfigIn) {
+  assert(NumPhaseTypes >= 1 && NumCoreTypes >= 1);
+  States.resize(NumPhaseTypes);
+  for (PhaseState &S : States) {
+    S.Insts.assign(NumCoreTypes, 0);
+    S.Cycles.assign(NumCoreTypes, 0);
+  }
+}
+
+PhaseTuner::Decision PhaseTuner::onMark(uint32_t PhaseType,
+                                        uint32_t CurrentCoreType) {
+  assert(PhaseType < NumPhaseTypes && "phase type out of range");
+  assert(CurrentCoreType < NumCoreTypes && "core type out of range");
+  Decision D;
+
+  if (Config.SwitchToAllCores) {
+    D.SwitchAllCores = true;
+    return D;
+  }
+
+  PhaseState &S = States[PhaseType];
+
+  if (S.Assigned >= 0) {
+    ++S.MarksSinceDecision;
+    if (Config.ResampleAfterMarks != 0 &&
+        S.MarksSinceDecision >= Config.ResampleAfterMarks) {
+      // Feedback extension: forget and re-learn this phase type.
+      S.Assigned = -1;
+      S.MarksSinceDecision = 0;
+      std::fill(S.Insts.begin(), S.Insts.end(), 0);
+      std::fill(S.Cycles.begin(), S.Cycles.end(), 0);
+    } else {
+      D.TargetCoreType = S.Assigned;
+      return D;
+    }
+  }
+
+  // Undecided: monitor on the current core type if it still needs a
+  // sample, otherwise steer toward the first unsampled core type (and
+  // monitor once we get there).
+  if (!S.sampled(CurrentCoreType, Config.MinSampleInsts)) {
+    D.StartMonitor = true;
+    return D;
+  }
+  for (uint32_t Ct = 0; Ct < NumCoreTypes; ++Ct) {
+    if (!S.sampled(Ct, Config.MinSampleInsts)) {
+      D.TargetCoreType = static_cast<int32_t>(Ct);
+      D.StartMonitor = true;
+      return D;
+    }
+  }
+  // All core types sampled; the decision should already have been made,
+  // but tolerate a pending state (e.g. zero-cycle samples).
+  maybeDecide(PhaseType);
+  if (S.Assigned >= 0)
+    D.TargetCoreType = S.Assigned;
+  return D;
+}
+
+void PhaseTuner::recordSample(uint32_t PhaseType, uint32_t CoreType,
+                              uint64_t Insts, uint64_t Cycles) {
+  assert(PhaseType < NumPhaseTypes && CoreType < NumCoreTypes);
+  PhaseState &S = States[PhaseType];
+  if (S.Assigned >= 0)
+    return; // Late sample after a decision; ignore.
+  S.Insts[CoreType] += Insts;
+  S.Cycles[CoreType] += Cycles;
+  maybeDecide(PhaseType);
+}
+
+void PhaseTuner::maybeDecide(uint32_t PhaseType) {
+  PhaseState &S = States[PhaseType];
+  if (S.Assigned >= 0)
+    return;
+  for (uint32_t Ct = 0; Ct < NumCoreTypes; ++Ct)
+    if (!S.sampled(Ct, Config.MinSampleInsts) || S.Cycles[Ct] == 0)
+      return;
+  std::vector<double> Ipc(NumCoreTypes);
+  for (uint32_t Ct = 0; Ct < NumCoreTypes; ++Ct)
+    Ipc[Ct] = static_cast<double>(S.Insts[Ct]) /
+              static_cast<double>(S.Cycles[Ct]);
+  S.Assigned =
+      static_cast<int32_t>(selectOptimalCoreType(Ipc, Config.IpcDelta));
+  S.MarksSinceDecision = 0;
+  ++Decisions;
+}
+
+bool PhaseTuner::decided(uint32_t PhaseType) const {
+  return States[PhaseType].Assigned >= 0;
+}
+
+int32_t PhaseTuner::assignment(uint32_t PhaseType) const {
+  return States[PhaseType].Assigned;
+}
+
+double PhaseTuner::measuredIpc(uint32_t PhaseType, uint32_t CoreType) const {
+  const PhaseState &S = States[PhaseType];
+  if (S.Cycles[CoreType] == 0)
+    return 0;
+  return static_cast<double>(S.Insts[CoreType]) /
+         static_cast<double>(S.Cycles[CoreType]);
+}

@@ -1,0 +1,119 @@
+//===- core/Tuner.h - Dynamic analysis & core assignment --------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic half of phase-based tuning (paper Sec. II-B): per-process
+/// state that, on each phase-mark firing, either (a) directs a core
+/// switch to the phase type's decided core type, or (b) monitors a
+/// representative section's IPC on each core type until the paper's
+/// Algorithm 2 can pick the optimal core.
+///
+/// The tuner is deliberately free of any simulator dependency: it
+/// consumes numbers (instructions retired, cycles) and emits decisions,
+/// exactly like the phase-mark code fragments consume PAPI counters and
+/// emit sched_setaffinity calls on real hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_CORE_TUNER_H
+#define PBT_CORE_TUNER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+/// Algorithm 2 (Optimal Core Assignment for n Cores): given the measured
+/// IPC per core type, sorts core types by IPC and walks the sorted list,
+/// advancing the pick whenever the IPC step to the next core type exceeds
+/// \p Delta. Returns the selected core type. The effect: with no IPC gap
+/// above Delta the lowest-IPC core type is kept (do not crowd the
+/// efficient cores); a large gap justifies taking space on the core type
+/// that wastes fewer cycles.
+uint32_t selectOptimalCoreType(const std::vector<double> &IpcByCoreType,
+                               double Delta);
+
+/// Tuning policy knobs.
+struct TunerConfig {
+  /// The IPC threshold delta of Algorithm 2 (paper sweeps 0.05–0.5;
+  /// Table 1 uses 0.2, Table 2's best uses 0.15).
+  double IpcDelta = 0.2;
+  /// A sample is complete once this many instructions were observed for
+  /// a (phase type, core type) pair.
+  uint64_t MinSampleInsts = 2000;
+  /// Overhead-measurement mode (Fig. 4): never monitor or decide; every
+  /// mark issues a switch to "all cores", exercising the full mark +
+  /// affinity-API path with no placement effect.
+  bool SwitchToAllCores = false;
+  /// Feedback extension (paper Sec. VI-B): forget a phase type's
+  /// decision after this many firings and re-sample (0 = off).
+  uint32_t ResampleAfterMarks = 0;
+};
+
+/// Per-process dynamic tuning state machine.
+class PhaseTuner {
+public:
+  PhaseTuner(uint32_t NumPhaseTypes, uint32_t NumCoreTypes,
+             TunerConfig Config);
+
+  /// What the phase-mark code decided to do.
+  struct Decision {
+    /// Core type to request affinity to; -1 = no constraint.
+    int32_t TargetCoreType = -1;
+    /// Release affinity to all cores (overhead-measurement mode).
+    bool SwitchAllCores = false;
+    /// Begin monitoring the entered section with hardware counters.
+    bool StartMonitor = false;
+  };
+
+  /// Invoked when a phase mark of \p PhaseType fires while running on a
+  /// core of \p CurrentCoreType.
+  Decision onMark(uint32_t PhaseType, uint32_t CurrentCoreType);
+
+  /// Delivers a completed monitoring sample for \p PhaseType measured on
+  /// \p CoreType. May complete the phase type's decision via Algorithm 2.
+  void recordSample(uint32_t PhaseType, uint32_t CoreType, uint64_t Insts,
+                    uint64_t Cycles);
+
+  /// Returns true once \p PhaseType has a decided core type.
+  bool decided(uint32_t PhaseType) const;
+
+  /// Decided core type of \p PhaseType, or -1.
+  int32_t assignment(uint32_t PhaseType) const;
+
+  /// Measured IPC of \p PhaseType on \p CoreType (0 when unsampled).
+  double measuredIpc(uint32_t PhaseType, uint32_t CoreType) const;
+
+  uint32_t numPhaseTypes() const { return NumPhaseTypes; }
+  uint32_t numCoreTypes() const { return NumCoreTypes; }
+
+  /// Total decisions made (phase types resolved), for diagnostics.
+  uint64_t decisionCount() const { return Decisions; }
+
+private:
+  struct PhaseState {
+    std::vector<uint64_t> Insts;  ///< Per core type.
+    std::vector<uint64_t> Cycles; ///< Per core type.
+    int32_t Assigned = -1;
+    uint32_t MarksSinceDecision = 0;
+
+    bool sampled(uint32_t CoreType, uint64_t MinInsts) const {
+      return Insts[CoreType] >= MinInsts;
+    }
+  };
+
+  void maybeDecide(uint32_t PhaseType);
+
+  uint32_t NumPhaseTypes;
+  uint32_t NumCoreTypes;
+  TunerConfig Config;
+  std::vector<PhaseState> States;
+  uint64_t Decisions = 0;
+};
+
+} // namespace pbt
+
+#endif // PBT_CORE_TUNER_H

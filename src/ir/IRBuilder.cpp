@@ -1,0 +1,235 @@
+//===- ir/IRBuilder.cpp - Convenience program construction ---------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace pbt;
+
+InstMix InstMix::compute(unsigned Count, double FpShare) {
+  InstMix Mix;
+  Mix.Count = Count;
+  Mix.FpFrac = FpShare;
+  Mix.LoadFrac = 0.05;
+  Mix.StoreFrac = 0.02;
+  Mix.BranchFrac = 0.05;
+  Mix.HotLines = 8;
+  Mix.ColdFrac = 0.0;
+  return Mix;
+}
+
+InstMix InstMix::memory(unsigned Count, unsigned WorkingSetLines,
+                        double ColdFraction) {
+  InstMix Mix;
+  Mix.Count = Count;
+  Mix.FpFrac = 0.05;
+  Mix.LoadFrac = 0.35;
+  Mix.StoreFrac = 0.15;
+  Mix.BranchFrac = 0.05;
+  Mix.HotLines = 32;
+  Mix.ColdFrac = ColdFraction;
+  Mix.ColdLines = WorkingSetLines;
+  return Mix;
+}
+
+IRBuilder::IRBuilder(std::string ProgramName, uint64_t Seed) : Gen(Seed) {
+  Prog.Name = std::move(ProgramName);
+}
+
+uint32_t IRBuilder::createProc(std::string Name) {
+  Procedure P;
+  P.Id = static_cast<uint32_t>(Prog.Procs.size());
+  P.Name = std::move(Name);
+  Prog.Procs.push_back(std::move(P));
+  return Prog.Procs.back().Id;
+}
+
+uint32_t IRBuilder::addBlock(uint32_t Proc) {
+  assert(Proc < Prog.Procs.size() && "unknown procedure");
+  Procedure &P = Prog.Procs[Proc];
+  BasicBlock BB;
+  BB.Id = static_cast<uint32_t>(P.Blocks.size());
+  P.Blocks.push_back(std::move(BB));
+  return P.Blocks.back().Id;
+}
+
+BasicBlock &IRBuilder::block(uint32_t Proc, uint32_t Block) {
+  assert(Proc < Prog.Procs.size() && "unknown procedure");
+  Procedure &P = Prog.Procs[Proc];
+  assert(Block < P.Blocks.size() && "unknown block");
+  return P.Blocks[Block];
+}
+
+void IRBuilder::appendMix(uint32_t Proc, uint32_t Block, const InstMix &Mix) {
+  BasicBlock &BB = block(Proc, Block);
+  assert(BB.calleeOrNone() < 0 && "cannot append after a call");
+
+  // Emit a deterministic shuffle of the requested mix. Memory operations
+  // cycle through the working set so that the steady-state reuse distance
+  // equals the working-set size.
+  unsigned NumFp = static_cast<unsigned>(Mix.FpFrac * Mix.Count);
+  unsigned NumLoad = static_cast<unsigned>(Mix.LoadFrac * Mix.Count);
+  unsigned NumStore = static_cast<unsigned>(Mix.StoreFrac * Mix.Count);
+  unsigned NumBranch = static_cast<unsigned>(Mix.BranchFrac * Mix.Count);
+  unsigned NumMem = NumLoad + NumStore;
+  assert(NumFp + NumMem + NumBranch <= Mix.Count && "fractions exceed 1");
+  unsigned NumInt = Mix.Count - NumFp - NumMem - NumBranch;
+
+  std::vector<InstKind> Kinds;
+  Kinds.reserve(Mix.Count);
+  for (unsigned I = 0; I < NumInt; ++I)
+    Kinds.push_back(InstKind::IntAlu);
+  for (unsigned I = 0; I < NumFp; ++I)
+    Kinds.push_back(InstKind::FpAlu);
+  for (unsigned I = 0; I < NumLoad; ++I)
+    Kinds.push_back(InstKind::Load);
+  for (unsigned I = 0; I < NumStore; ++I)
+    Kinds.push_back(InstKind::Store);
+  for (unsigned I = 0; I < NumBranch; ++I)
+    Kinds.push_back(InstKind::Branch);
+
+  // Fisher-Yates with the builder RNG: interleaves classes while staying
+  // deterministic for a given seed.
+  for (size_t I = Kinds.size(); I > 1; --I) {
+    size_t J = Gen.nextBelow(I);
+    std::swap(Kinds[I - 1], Kinds[J]);
+  }
+
+  // Reference-id allocation. Hot ids repeat within the block (resident
+  // reuse); cold ids are unique within the block and marked streaming via
+  // StreamWorkingSet. Start past any ids used by earlier appends so the
+  // populations stay disjoint.
+  int32_t Base = 0;
+  for (const Instruction &I : BB.Insts)
+    if (isMemoryKind(I.Kind))
+      Base = std::max(Base, I.MemRef + 1);
+
+  // Clamp the hot set so every hot line is touched at least twice per
+  // execution (that is what makes it hot).
+  unsigned ExpectedCold = static_cast<unsigned>(Mix.ColdFrac * NumMem);
+  unsigned NumHot = NumMem - std::min(ExpectedCold, NumMem);
+  unsigned HotSet = std::max(1u, std::min(Mix.HotLines, NumHot / 2));
+
+  uint32_t HotCursor = 0;
+  int32_t ColdCursor = Base + static_cast<int32_t>(HotSet);
+  double ColdAcc = 0;
+  auto NextMemRef = [&]() {
+    ColdAcc += Mix.ColdFrac;
+    if (ColdAcc >= 1.0 && Mix.ColdLines > 0) {
+      ColdAcc -= 1.0;
+      BB.StreamWorkingSet = std::max(BB.StreamWorkingSet, Mix.ColdLines);
+      return ColdCursor++;
+    }
+    return Base + static_cast<int32_t>(HotCursor++ % HotSet);
+  };
+
+  for (InstKind Kind : Kinds) {
+    switch (Kind) {
+    case InstKind::IntAlu:
+      BB.Insts.push_back(Instruction::intAlu());
+      break;
+    case InstKind::FpAlu:
+      BB.Insts.push_back(Instruction::fpAlu());
+      break;
+    case InstKind::Load:
+      BB.Insts.push_back(Instruction::load(NextMemRef()));
+      break;
+    case InstKind::Store:
+      BB.Insts.push_back(Instruction::store(NextMemRef()));
+      break;
+    case InstKind::Branch:
+      BB.Insts.push_back(Instruction::branch());
+      break;
+    case InstKind::Call:
+    case InstKind::Ret:
+    case InstKind::Syscall:
+      assert(false && "unexpected generated kind");
+      break;
+    }
+  }
+}
+
+void IRBuilder::appendCall(uint32_t Proc, uint32_t Block, uint32_t Callee) {
+  BasicBlock &BB = block(Proc, Block);
+  assert(BB.calleeOrNone() < 0 && "block already calls");
+  BB.Insts.push_back(Instruction::call(static_cast<int32_t>(Callee)));
+}
+
+void IRBuilder::appendSyscall(uint32_t Proc, uint32_t Block) {
+  BasicBlock &BB = block(Proc, Block);
+  assert(BB.calleeOrNone() < 0 && "cannot append after a call");
+  BB.Insts.push_back(Instruction::syscall());
+}
+
+void IRBuilder::setJump(uint32_t Proc, uint32_t Block, uint32_t Target) {
+  BasicBlock &BB = block(Proc, Block);
+  BB.Term = TermKind::Jump;
+  BB.Succs = {Target};
+}
+
+void IRBuilder::setLoop(uint32_t Proc, uint32_t Latch, uint32_t BackTarget,
+                        uint32_t Exit, uint32_t TripCount) {
+  BasicBlock &BB = block(Proc, Latch);
+  BB.Term = TermKind::Loop;
+  BB.Succs = {BackTarget, Exit};
+  BB.TripCount = TripCount < 1 ? 1 : TripCount;
+}
+
+void IRBuilder::setCond(uint32_t Proc, uint32_t Block, uint32_t Taken,
+                        uint32_t NotTaken, double TakenProb) {
+  BasicBlock &BB = block(Proc, Block);
+  BB.Term = TermKind::Cond;
+  BB.Succs = {Taken, NotTaken};
+  BB.TakenProb = TakenProb;
+}
+
+void IRBuilder::setRet(uint32_t Proc, uint32_t Block) {
+  BasicBlock &BB = block(Proc, Block);
+  BB.Term = TermKind::Ret;
+  BB.Succs.clear();
+}
+
+uint32_t IRBuilder::addLoopRegion(uint32_t Proc, uint32_t From,
+                                  const InstMix &Mix, uint32_t TripCount) {
+  uint32_t Body = addBlock(Proc);
+  uint32_t Join = addBlock(Proc);
+  appendMix(Proc, Body, Mix);
+  setJump(Proc, From, Body);
+  setLoop(Proc, Body, Body, Join, TripCount);
+  return Join;
+}
+
+Program IRBuilder::take() {
+  // Materialize terminator instructions so byte sizes and instruction
+  // counts reflect the control transfers.
+  for (Procedure &P : Prog.Procs) {
+    for (BasicBlock &BB : P.Blocks) {
+      switch (BB.Term) {
+      case TermKind::Jump:
+        // A trailing call falls through to its continuation; everything
+        // else needs an explicit jump.
+        if (BB.calleeOrNone() < 0)
+          BB.Insts.push_back(Instruction::branch());
+        break;
+      case TermKind::Loop:
+      case TermKind::Cond:
+        BB.Insts.push_back(Instruction::branch());
+        break;
+      case TermKind::Ret:
+        if (BB.Insts.empty() || BB.Insts.back().Kind != InstKind::Ret)
+          BB.Insts.push_back(Instruction::ret());
+        break;
+      }
+    }
+  }
+
+  std::string Error;
+  bool Ok = verify(Prog, &Error);
+  (void)Ok;
+  assert(Ok && "IRBuilder produced an invalid program");
+  return std::move(Prog);
+}

@@ -1,0 +1,109 @@
+//===- ir/IRBuilder.h - Convenience program construction --------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder used by tests and by the synthetic SPEC-like benchmark suite to
+/// assemble programs. Instruction bodies are generated from declarative
+/// InstMix specifications (instruction-class fractions plus a working-set
+/// size), which is what gives blocks their distinguishable static features
+/// and dynamic cache behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_IR_IRBUILDER_H
+#define PBT_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+#include <string>
+
+namespace pbt {
+
+/// Declarative description of a block body. Fractions are of the total
+/// Count; the remainder after Fp/Load/Store/Branch is integer ALU work.
+///
+/// Memory behaviour follows a two-population model: a *hot* set of
+/// HotLines 64-byte lines reused within every execution (cache hits for
+/// any realistic cache), and a *cold* stream over ColdLines lines whose
+/// steady-state reuse distance is the full footprint (hits only when the
+/// effective cache holds ColdLines lines). ColdFrac of the memory
+/// operations walk the cold stream; the rest touch the hot set. The
+/// block's expected miss rate under a cache of C lines is therefore
+/// approximately ColdFrac * [ColdLines > C].
+struct InstMix {
+  unsigned Count = 32;          ///< Number of instructions to emit.
+  double FpFrac = 0.0;          ///< Fraction of floating-point ALU ops.
+  double LoadFrac = 0.0;        ///< Fraction of loads.
+  double StoreFrac = 0.0;       ///< Fraction of stores.
+  double BranchFrac = 0.0;      ///< Fraction of (non-terminator) branches.
+  unsigned HotLines = 8;        ///< Resident hot-set size in lines.
+  double ColdFrac = 0.0;        ///< Fraction of memory ops that stream.
+  unsigned ColdLines = 131072;  ///< Streaming footprint in lines (8 MiB).
+
+  /// A compute-bound mix: almost all ALU, tiny resident working set.
+  static InstMix compute(unsigned Count, double FpShare = 0.4);
+
+  /// A memory-bound mix: load/store heavy; \p ColdFraction of memory
+  /// operations stream over \p WorkingSetLines lines.
+  static InstMix memory(unsigned Count, unsigned WorkingSetLines,
+                        double ColdFraction = 0.05);
+};
+
+/// Incrementally builds a verified Program.
+class IRBuilder {
+public:
+  explicit IRBuilder(std::string ProgramName, uint64_t Seed = 1);
+
+  /// Adds an empty procedure; returns its id. The first procedure created
+  /// is `main`.
+  uint32_t createProc(std::string Name);
+
+  /// Adds an empty block to \p Proc; returns its block id.
+  uint32_t addBlock(uint32_t Proc);
+
+  /// Appends a generated instruction body to a block.
+  void appendMix(uint32_t Proc, uint32_t Block, const InstMix &Mix);
+
+  /// Appends a call to \p Callee; must be the final append for the block,
+  /// and the block must be given a Jump terminator (the continuation).
+  void appendCall(uint32_t Proc, uint32_t Block, uint32_t Callee);
+
+  /// Appends a syscall marker instruction.
+  void appendSyscall(uint32_t Proc, uint32_t Block);
+
+  /// Terminator setters.
+  void setJump(uint32_t Proc, uint32_t Block, uint32_t Target);
+  void setLoop(uint32_t Proc, uint32_t Latch, uint32_t BackTarget,
+               uint32_t Exit, uint32_t TripCount);
+  void setCond(uint32_t Proc, uint32_t Block, uint32_t Taken,
+               uint32_t NotTaken, double TakenProb);
+  void setRet(uint32_t Proc, uint32_t Block);
+
+  /// Convenience: appends a single-block self-loop region to \p Proc:
+  /// creates a body block carrying \p Mix that runs \p TripCount
+  /// iterations, then jumps to a fresh empty join block, which is
+  /// returned. \p From is wired to jump to the body.
+  uint32_t addLoopRegion(uint32_t Proc, uint32_t From, const InstMix &Mix,
+                         uint32_t TripCount);
+
+  /// Access to the program under construction (e.g. for inspection).
+  Program &program() { return Prog; }
+
+  /// Finalizes terminator instructions, verifies, and moves the program
+  /// out. Asserts on verification failure (builder misuse is a bug).
+  Program take();
+
+private:
+  BasicBlock &block(uint32_t Proc, uint32_t Block);
+
+  Program Prog;
+  Rng Gen;
+};
+
+} // namespace pbt
+
+#endif // PBT_IR_IRBUILDER_H

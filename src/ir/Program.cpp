@@ -1,0 +1,157 @@
+//===- ir/Program.cpp - Procedures and whole programs --------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <cstdio>
+
+using namespace pbt;
+
+const char *pbt::instKindName(InstKind Kind) {
+  switch (Kind) {
+  case InstKind::IntAlu:
+    return "int";
+  case InstKind::FpAlu:
+    return "fp";
+  case InstKind::Load:
+    return "load";
+  case InstKind::Store:
+    return "store";
+  case InstKind::Branch:
+    return "br";
+  case InstKind::Call:
+    return "call";
+  case InstKind::Ret:
+    return "ret";
+  case InstKind::Syscall:
+    return "sys";
+  }
+  return "?";
+}
+
+static bool fail(std::string *ErrorOut, const std::string &Message) {
+  if (ErrorOut)
+    *ErrorOut = Message;
+  return false;
+}
+
+static std::string where(const Procedure &P, const BasicBlock &BB) {
+  return P.Name + ":bb" + std::to_string(BB.Id);
+}
+
+bool pbt::verify(const Program &Prog, std::string *ErrorOut) {
+  if (Prog.Procs.empty())
+    return fail(ErrorOut, "program has no procedures");
+
+  for (size_t PI = 0; PI < Prog.Procs.size(); ++PI) {
+    const Procedure &P = Prog.Procs[PI];
+    if (P.Id != PI)
+      return fail(ErrorOut, "procedure id mismatch for " + P.Name);
+    if (P.Blocks.empty())
+      return fail(ErrorOut, "procedure " + P.Name + " has no blocks");
+
+    for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+      const BasicBlock &BB = P.Blocks[BI];
+      if (BB.Id != BI)
+        return fail(ErrorOut, "block id mismatch in " + P.Name);
+
+      for (uint32_t Succ : BB.Succs)
+        if (Succ >= P.Blocks.size())
+          return fail(ErrorOut,
+                      "successor out of range at " + where(P, BB));
+
+      switch (BB.Term) {
+      case TermKind::Jump:
+        if (BB.Succs.size() != 1)
+          return fail(ErrorOut, "jump block needs 1 successor at " +
+                                    where(P, BB));
+        break;
+      case TermKind::Loop:
+        if (BB.Succs.size() != 2)
+          return fail(ErrorOut, "loop latch needs 2 successors at " +
+                                    where(P, BB));
+        if (BB.Succs[0] == BB.Succs[1])
+          return fail(ErrorOut, "loop latch successors must differ at " +
+                                    where(P, BB));
+        if (BB.TripCount < 1)
+          return fail(ErrorOut, "loop trip count must be >= 1 at " +
+                                    where(P, BB));
+        break;
+      case TermKind::Cond:
+        if (BB.Succs.empty())
+          return fail(ErrorOut, "cond block needs successors at " +
+                                    where(P, BB));
+        if (BB.TakenProb < 0.0 || BB.TakenProb > 1.0)
+          return fail(ErrorOut, "cond probability out of range at " +
+                                    where(P, BB));
+        break;
+      case TermKind::Ret:
+        if (!BB.Succs.empty())
+          return fail(ErrorOut, "return block must have no successors at " +
+                                    where(P, BB));
+        break;
+      }
+
+      for (size_t II = 0; II < BB.Insts.size(); ++II) {
+        const Instruction &I = BB.Insts[II];
+        if (I.Kind == InstKind::Call) {
+          if (II + 1 != BB.Insts.size())
+            return fail(ErrorOut, "call must terminate its block at " +
+                                      where(P, BB));
+          if (BB.Term != TermKind::Jump)
+            return fail(ErrorOut,
+                        "call block must have a jump continuation at " +
+                            where(P, BB));
+          if (I.Callee < 0 ||
+              static_cast<size_t>(I.Callee) >= Prog.Procs.size())
+            return fail(ErrorOut, "invalid call target at " + where(P, BB));
+        }
+        if (isMemoryKind(I.Kind) && I.MemRef < 0)
+          return fail(ErrorOut,
+                      "memory op without reference at " + where(P, BB));
+      }
+    }
+  }
+  return true;
+}
+
+std::string pbt::printProgram(const Program &Prog) {
+  std::string Out = "program " + Prog.Name + "\n";
+  char Buf[160];
+  for (const Procedure &P : Prog.Procs) {
+    Out += "  proc " + std::to_string(P.Id) + " " + P.Name + "\n";
+    for (const BasicBlock &BB : P.Blocks) {
+      const char *Term = "?";
+      switch (BB.Term) {
+      case TermKind::Jump:
+        Term = "jump";
+        break;
+      case TermKind::Loop:
+        Term = "loop";
+        break;
+      case TermKind::Cond:
+        Term = "cond";
+        break;
+      case TermKind::Ret:
+        Term = "ret";
+        break;
+      }
+      std::snprintf(Buf, sizeof(Buf),
+                    "    bb%u: %zu insts, %zu mem, %s ->", BB.Id, BB.size(),
+                    BB.memOpCount(), Term);
+      Out += Buf;
+      for (uint32_t Succ : BB.Succs)
+        Out += " bb" + std::to_string(Succ);
+      if (BB.Term == TermKind::Loop)
+        Out += " trip=" + std::to_string(BB.TripCount);
+      int32_t Callee = BB.calleeOrNone();
+      if (Callee >= 0)
+        Out += " calls " + Prog.Procs[Callee].Name;
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,357 @@
+//===- sim/Machine.cpp - AMP simulation driver -----------------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pbt;
+
+SchedulerPolicy::~SchedulerPolicy() = default;
+
+uint32_t ObliviousScheduler::selectCore(const Machine &M, const Process &P) {
+  uint32_t Best = UINT32_MAX;
+  uint32_t BestLen = UINT32_MAX;
+  for (uint32_t Core = 0; Core < M.config().numCores(); ++Core) {
+    if (!P.allowedOn(Core))
+      continue;
+    uint32_t Len = M.queueLength(Core);
+    if (Len < BestLen) {
+      BestLen = Len;
+      Best = Core;
+    }
+  }
+  assert(Best != UINT32_MAX && "affinity mask excludes every core");
+  return Best;
+}
+
+void ObliviousScheduler::balance(Machine &M) {
+  // Pull-style balancing: repeatedly move one queued process from the
+  // longest to the shortest queue while the imbalance exceeds one.
+  uint32_t NumCores = M.config().numCores();
+  for (int Round = 0; Round < 8; ++Round) {
+    uint32_t Longest = 0;
+    uint32_t Shortest = 0;
+    for (uint32_t Core = 1; Core < NumCores; ++Core) {
+      if (M.queueLength(Core) > M.queueLength(Longest))
+        Longest = Core;
+      if (M.queueLength(Core) < M.queueLength(Shortest))
+        Shortest = Core;
+    }
+    if (M.queueLength(Longest) < M.queueLength(Shortest) + 2)
+      return;
+    // Find a migratable process, preferring the tail (coldest).
+    const std::deque<uint32_t> &Queue = M.queue(Longest);
+    bool Moved = false;
+    for (auto It = Queue.rbegin(); It != Queue.rend(); ++It) {
+      if (M.process(*It).allowedOn(Shortest)) {
+        Moved = M.moveQueued(*It, Longest, Shortest);
+        break;
+      }
+    }
+    if (!Moved)
+      return;
+  }
+}
+
+Machine::Machine(MachineConfig ConfigIn, SimConfig SimIn,
+                 std::unique_ptr<SchedulerPolicy> PolicyIn)
+    : Config(std::move(ConfigIn)), Sim(SimIn), Policy(std::move(PolicyIn)),
+      Counters(SimIn.CounterSlots), Queues(Config.numCores()),
+      BusyCycles(Config.numCores(), 0.0), Gen(SimIn.Seed) {
+  assert(Config.numCores() >= 1 && Config.numCores() <= 64 &&
+         "machine must have 1..64 cores");
+  assert(Policy && "machine needs a scheduling policy");
+}
+
+uint32_t Machine::spawn(std::shared_ptr<const InstrumentedProgram> IProg,
+                        std::shared_ptr<const CostModel> Cost,
+                        const TunerConfig &TunerCfg, uint64_t Seed,
+                        int32_t Slot, uint64_t InitialAffinity) {
+  uint32_t Pid = static_cast<uint32_t>(Procs.size());
+  auto P = std::make_unique<Process>(Pid, std::move(IProg), std::move(Cost),
+                                     TunerCfg, Config.numCoreTypes(), Seed,
+                                     Config.allCoresMask());
+  if (InitialAffinity != 0) {
+    assert((InitialAffinity & Config.allCoresMask()) != 0 &&
+           "initial affinity excludes every core");
+    P->AffinityMask = InitialAffinity & Config.allCoresMask();
+  }
+  P->ArrivalTime = Now;
+  P->Slot = Slot;
+  Procs.push_back(std::move(P));
+  placeProcess(Pid);
+  return Pid;
+}
+
+void Machine::placeProcess(uint32_t Pid) {
+  Process &P = *Procs[Pid];
+  uint32_t Core = Policy->selectCore(*this, P);
+  assert(P.allowedOn(Core) && "policy violated the affinity mask");
+  Queues[Core].push_back(Pid);
+}
+
+bool Machine::moveQueued(uint32_t Pid, uint32_t FromCore, uint32_t ToCore) {
+  if (FromCore == ToCore)
+    return false;
+  Process &P = *Procs[Pid];
+  if (!P.allowedOn(ToCore))
+    return false;
+  auto &From = Queues[FromCore];
+  auto It = std::find(From.begin(), From.end(), Pid);
+  if (It == From.end())
+    return false;
+  From.erase(It);
+  Queues[ToCore].push_back(Pid);
+  return true;
+}
+
+double Machine::coreBusyFraction(uint32_t Core) const {
+  if (Now <= 0)
+    return 0;
+  return BusyCycles[Core] / (Now * coreFrequency(Core));
+}
+
+uint64_t Machine::totalInstructions() const {
+  uint64_t Total = 0;
+  for (const auto &P : Procs)
+    Total += P->Stats.InstsRetired;
+  return Total;
+}
+
+void Machine::run(double Until) {
+  while (Now < Until) {
+    if (Now >= NextBalance) {
+      Policy->balance(*this);
+      NextBalance = Now + Sim.BalancePeriod;
+    }
+
+    // Effective cache sharing this quantum: active cores per L2 group.
+    uint32_t NumCores = Config.numCores();
+    std::vector<uint32_t> GroupActive;
+    for (uint32_t Core = 0; Core < NumCores; ++Core) {
+      uint32_t Group = Config.Cores[Core].L2Group;
+      if (Group >= GroupActive.size())
+        GroupActive.resize(Group + 1, 0);
+      if (!Queues[Core].empty())
+        ++GroupActive[Group];
+    }
+
+    // Work-conserving quantum: after the main pass, cores with leftover
+    // budget re-check their queues so work migrated from later-visited
+    // cores (or spawned mid-quantum) starts immediately instead of
+    // idling until the next tick — as on a real machine, where an idle
+    // core picks up a migrated task at once.
+    std::vector<double> Used(NumCores, 0);
+    for (int Pass = 0; Pass < 4; ++Pass) {
+      bool Progress = false;
+      for (uint32_t Core = 0; Core < NumCores; ++Core) {
+        double Freq = coreFrequency(Core);
+        double Budget = Sim.Timeslice * Freq;
+        uint32_t Sharers =
+            std::max(1u, GroupActive[Config.Cores[Core].L2Group]);
+
+        while (Used[Core] < Budget && !Queues[Core].empty()) {
+          Progress = true;
+          uint32_t Pid = Queues[Core].front();
+          Process &P = *Procs[Pid];
+          AdvanceResult R =
+              advanceProcess(P, Core, Budget - Used[Core], Sharers);
+          Used[Core] += R.CyclesUsed;
+          BusyCycles[Core] += R.CyclesUsed;
+          P.Stats.CyclesConsumed += R.CyclesUsed;
+          P.Stats.CpuSeconds += R.CyclesUsed / Freq;
+
+          if (R.Finished) {
+            P.CompletionTime = Now + std::min(Used[Core], Budget) / Freq;
+            Queues[Core].pop_front();
+            if (P.MonActive)
+              finishMonitor(P);
+            if (OnExit)
+              OnExit(*this, P);
+            continue;
+          }
+          if (R.Migrated) {
+            Queues[Core].pop_front();
+            placeProcess(Pid);
+            continue;
+          }
+          // Timeslice exhausted: round-robin rotate.
+          Queues[Core].pop_front();
+          Queues[Core].push_back(Pid);
+        }
+      }
+      if (!Progress)
+        break;
+    }
+
+    Now += Sim.Timeslice;
+  }
+}
+
+Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,
+                                               double BudgetCycles,
+                                               uint32_t Sharers) {
+  AdvanceResult R;
+  const InstrumentedProgram &IP = *P.IProg;
+  const Program &Prog = IP.program();
+  const CostModel &Cost = *P.Cost;
+
+  while (!P.Finished && R.CyclesUsed < BudgetCycles) {
+    const BasicBlock &BB = Prog.Procs[P.CurProc].Blocks[P.CurBlock];
+    uint32_t Ct = coreType(Core);
+
+    double Cycles = Cost.blockCycles(P.CurProc, P.CurBlock, Ct, Sharers);
+    uint32_t Insts = Cost.blockInsts(P.CurProc, P.CurBlock);
+    R.CyclesUsed += Cycles;
+    P.Stats.InstsRetired += Insts;
+    ++P.Stats.BlocksExecuted;
+    if (P.MonActive) {
+      P.MonInsts += Insts;
+      P.MonCycles += Cycles;
+    }
+
+    // Resolve the terminator and collect the mark (if any) on the taken
+    // edge. Call sites fire their own mark immediately; the continuation
+    // edge's mark is deferred until the matching return.
+    const PhaseMark *TakenMark = nullptr;
+    switch (BB.Term) {
+    case TermKind::Jump: {
+      int32_t Callee = BB.calleeOrNone();
+      if (Callee >= 0) {
+        const PhaseMark *ContMark = IP.edgeMark(P.CurProc, P.CurBlock, 0);
+        int32_t ContIndex =
+            ContMark
+                ? static_cast<int32_t>(ContMark - IP.marks().data())
+                : -1;
+        P.CallStack.push_back({P.CurProc, BB.Succs[0], ContIndex});
+        const PhaseMark *CallMark = IP.callMark(P.CurProc, P.CurBlock);
+        P.CurProc = static_cast<uint32_t>(Callee);
+        P.CurBlock = 0;
+        if (CallMark && fireMark(P, *CallMark, Core, R.CyclesUsed)) {
+          R.Migrated = true;
+          return R;
+        }
+        continue;
+      }
+      TakenMark = IP.edgeMark(P.CurProc, P.CurBlock, 0);
+      P.CurBlock = BB.Succs[0];
+      break;
+    }
+    case TermKind::Loop: {
+      uint32_t &Rem = P.LoopRemaining[P.CurProc][P.CurBlock];
+      if (Rem == 0)
+        Rem = BB.TripCount; // First latch execution of this activation.
+      if (Rem > 1) {
+        --Rem;
+        TakenMark = IP.edgeMark(P.CurProc, P.CurBlock, 0);
+        P.CurBlock = BB.Succs[0];
+      } else {
+        Rem = 0;
+        TakenMark = IP.edgeMark(P.CurProc, P.CurBlock, 1);
+        P.CurBlock = BB.Succs[1];
+      }
+      break;
+    }
+    case TermKind::Cond: {
+      uint32_t Index = P.Gen.nextBool(BB.TakenProb) ? 0 : 1;
+      TakenMark = IP.edgeMark(P.CurProc, P.CurBlock, Index);
+      P.CurBlock = BB.Succs[Index];
+      break;
+    }
+    case TermKind::Ret: {
+      if (P.CallStack.empty()) {
+        P.Finished = true;
+        R.Finished = true;
+        return R;
+      }
+      CallFrame Frame = P.CallStack.back();
+      P.CallStack.pop_back();
+      P.CurProc = Frame.Proc;
+      P.CurBlock = Frame.ContBlock;
+      if (Frame.ContMarkIndex >= 0)
+        TakenMark = &IP.marks()[static_cast<size_t>(Frame.ContMarkIndex)];
+      break;
+    }
+    }
+
+    if (TakenMark && fireMark(P, *TakenMark, Core, R.CyclesUsed)) {
+      R.Migrated = true;
+      return R;
+    }
+  }
+  return R;
+}
+
+bool Machine::fireMark(Process &P, const PhaseMark &Mark, uint32_t Core,
+                       double &Cycles) {
+  const MarkCostModel &MC = P.IProg->cost();
+  ++P.Stats.MarksFired;
+  uint32_t Ct = coreType(Core);
+  double Overhead = static_cast<double>(MC.MarkInsts) * 0.5;
+
+  // Every transition closes an in-flight monitoring session: a section
+  // ends where the next phase mark begins.
+  if (P.MonActive)
+    finishMonitor(P);
+
+  PhaseTuner::Decision D = P.Tuner.onMark(Mark.PhaseType, Ct);
+
+  bool NeedMigrate = false;
+  if (D.SwitchAllCores) {
+    Overhead += Sim.AffinityApiCycles;
+    P.AffinityMask = Config.allCoresMask();
+  } else if (D.TargetCoreType >= 0) {
+    uint64_t Want =
+        Config.coreMaskOfType(static_cast<uint32_t>(D.TargetCoreType));
+    if (static_cast<uint32_t>(D.TargetCoreType) != Ct) {
+      // Cross-type switch: affinity call plus migration penalty.
+      P.AffinityMask = Want;
+      Overhead += Sim.AffinityApiCycles + MC.SwitchCycles;
+      ++P.Stats.CoreSwitches;
+      NeedMigrate = true;
+    } else if (P.AffinityMask != Want) {
+      P.AffinityMask = Want;
+      Overhead += Sim.AffinityApiCycles;
+    }
+  }
+
+  if (D.StartMonitor && !NeedMigrate) {
+    if (Counters.acquire()) {
+      P.MonActive = true;
+      P.MonPhaseType = Mark.PhaseType;
+      P.MonCoreType = Ct;
+      P.MonInsts = 0;
+      P.MonCycles = 0;
+      ++P.Stats.MonitorSessions;
+      Overhead += MC.MonitorSetupCycles;
+      // Pin to the sampled core type so the sample is attributable.
+      uint64_t Want = Config.coreMaskOfType(Ct);
+      if (P.AffinityMask != Want) {
+        P.AffinityMask = Want;
+        Overhead += Sim.AffinityApiCycles;
+      }
+    } else {
+      // PAPI-style wait: retry at the next phase mark.
+      ++P.Stats.CounterWaits;
+      Overhead += Sim.CounterWaitCycles;
+    }
+  }
+
+  Cycles += Overhead;
+  P.Stats.OverheadCycles += Overhead;
+  return NeedMigrate;
+}
+
+void Machine::finishMonitor(Process &P) {
+  assert(P.MonActive && "no monitoring session in flight");
+  P.MonActive = false;
+  Counters.release();
+  if (P.MonInsts > 0 && P.MonCycles > 0)
+    P.Tuner.recordSample(P.MonPhaseType, P.MonCoreType, P.MonInsts,
+                         static_cast<uint64_t>(P.MonCycles));
+}

@@ -1,0 +1,155 @@
+//===- sim/Machine.h - AMP simulation driver --------------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete quantum-stepped AMP simulator. Each core runs the
+/// front of its runqueue for one timeslice; the execution engine walks
+/// the process's CFG charging analytic block costs, fires phase marks on
+/// instrumented edges and call sites, performs counter-based monitoring,
+/// and carries out affinity switches. Shared-L2 contention is modeled by
+/// halving the effective cache per active sharer of the L2 group,
+/// re-evaluated every quantum.
+///
+/// The phase-tuned and baseline configurations differ *only* in the
+/// program image (marks or no marks), matching the paper's transparent-
+/// deployment claim: the OS scheduler policy is identical in both runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SIM_MACHINE_H
+#define PBT_SIM_MACHINE_H
+
+#include "sim/MachineConfig.h"
+#include "sim/PerfCounters.h"
+#include "sim/Process.h"
+#include "sim/Scheduler.h"
+#include "support/Rng.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pbt {
+
+/// Simulation knobs independent of the machine's hardware shape.
+struct SimConfig {
+  /// Scheduler timeslice, simulated seconds.
+  double Timeslice = 0.004;
+  /// Load-balance period, simulated seconds (Linux rebalances busy cores
+  /// on the order of 100 ms).
+  double BalancePeriod = 0.1;
+  /// Concurrent hardware-counter monitoring slots (0 = unlimited).
+  /// Counters are per-core resources virtualized across context
+  /// switches; two contexts per core of the paper's quad is the default.
+  uint32_t CounterSlots = 8;
+  /// Cycles of one affinity-API call (no migration).
+  uint32_t AffinityApiCycles = 150;
+  /// Cycles lost when a counter slot was unavailable (retry at next mark).
+  uint32_t CounterWaitCycles = 500;
+  /// Master seed for process RNG derivation.
+  uint64_t Seed = 0x5EED;
+};
+
+/// The simulated machine: cores, runqueues, clock, counter slots.
+class Machine {
+public:
+  Machine(MachineConfig Config, SimConfig Sim,
+          std::unique_ptr<SchedulerPolicy> Policy);
+
+  /// Called when a process completes; may spawn replacements.
+  using ExitHandler = std::function<void(Machine &, Process &)>;
+  void setExitHandler(ExitHandler Handler) { OnExit = std::move(Handler); }
+
+  /// Creates a process running \p IProg and enqueues it. \p Seed drives
+  /// the process's branch outcomes, so identical seeds give identical
+  /// dynamic traces across scheduler configurations (the paper's
+  /// same-queues methodology). Returns the pid.
+  /// \p InitialAffinity restricts the process's allowed cores from birth
+  /// (0 = all cores), modeling externally pinned processes such as a
+  /// HASS-style static whole-program assignment.
+  uint32_t spawn(std::shared_ptr<const InstrumentedProgram> IProg,
+                 std::shared_ptr<const CostModel> Cost,
+                 const TunerConfig &TunerCfg, uint64_t Seed,
+                 int32_t Slot = -1, uint64_t InitialAffinity = 0);
+
+  /// Advances simulated time to \p Until (absolute seconds).
+  void run(double Until);
+
+  double now() const { return Now; }
+
+  /// Sum of instructions retired by all processes (throughput metric).
+  uint64_t totalInstructions() const;
+
+  /// Fraction of elapsed cycles core \p Core spent executing (utilization
+  /// diagnostic; 0 before the first quantum).
+  double coreBusyFraction(uint32_t Core) const;
+
+  const MachineConfig &config() const { return Config; }
+  const SimConfig &simConfig() const { return Sim; }
+  const CounterManager &counters() const { return Counters; }
+
+  const std::vector<std::unique_ptr<Process>> &processes() const {
+    return Procs;
+  }
+  Process &process(uint32_t Pid) { return *Procs[Pid]; }
+
+  /// Scheduler-policy API: runqueue inspection and queued-process moves.
+  uint32_t queueLength(uint32_t Core) const {
+    return static_cast<uint32_t>(Queues[Core].size());
+  }
+  const std::deque<uint32_t> &queue(uint32_t Core) const {
+    return Queues[Core];
+  }
+  /// Moves a queued process to \p ToCore (affinity permitting); returns
+  /// false when the process is not queued on \p FromCore or not allowed.
+  bool moveQueued(uint32_t Pid, uint32_t FromCore, uint32_t ToCore);
+
+private:
+  struct AdvanceResult {
+    double CyclesUsed = 0;
+    bool Finished = false;
+    bool Migrated = false;
+  };
+
+  /// Runs \p P on \p Core for at most \p BudgetCycles.
+  AdvanceResult advanceProcess(Process &P, uint32_t Core,
+                               double BudgetCycles, uint32_t Sharers);
+
+  /// Executes one phase mark; returns true when the process must migrate
+  /// off its current core. Adds overhead cycles to \p Cycles.
+  bool fireMark(Process &P, const PhaseMark &Mark, uint32_t Core,
+                double &Cycles);
+
+  /// Completes an in-flight monitoring session, delivering the sample.
+  void finishMonitor(Process &P);
+
+  /// Enqueues a ready process via the scheduling policy.
+  void placeProcess(uint32_t Pid);
+
+  uint32_t coreType(uint32_t Core) const {
+    return Config.Cores[Core].TypeId;
+  }
+  double coreFrequency(uint32_t Core) const {
+    return Config.CoreTypes[coreType(Core)].Frequency;
+  }
+
+  MachineConfig Config;
+  SimConfig Sim;
+  std::unique_ptr<SchedulerPolicy> Policy;
+  ExitHandler OnExit;
+  CounterManager Counters;
+  double Now = 0;
+  double NextBalance = 0;
+  std::vector<std::deque<uint32_t>> Queues;
+  std::vector<std::unique_ptr<Process>> Procs;
+  std::vector<double> BusyCycles;
+  Rng Gen;
+};
+
+} // namespace pbt
+
+#endif // PBT_SIM_MACHINE_H

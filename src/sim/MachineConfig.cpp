@@ -1,0 +1,66 @@
+//===- sim/MachineConfig.cpp - AMP machine descriptions -------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MachineConfig.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pbt;
+
+uint32_t MachineConfig::maxGroupSize() const {
+  std::vector<uint32_t> Sizes;
+  for (const CoreDesc &C : Cores) {
+    if (C.L2Group >= Sizes.size())
+      Sizes.resize(C.L2Group + 1, 0);
+    ++Sizes[C.L2Group];
+  }
+  uint32_t Max = 0;
+  for (uint32_t S : Sizes)
+    Max = std::max(Max, S);
+  return Max;
+}
+
+uint64_t MachineConfig::coreMaskOfType(uint32_t TypeId) const {
+  uint64_t Mask = 0;
+  for (uint32_t I = 0; I < Cores.size(); ++I)
+    if (Cores[I].TypeId == TypeId)
+      Mask |= 1ULL << I;
+  return Mask;
+}
+
+static CoreTypeDesc fastType() { return {"fast", 2.4e6, 4096}; }
+static CoreTypeDesc slowType() { return {"slow", 1.6e6, 4096}; }
+
+MachineConfig MachineConfig::quadAsymmetric() {
+  MachineConfig M;
+  M.CoreTypes = {fastType(), slowType()};
+  // Same-frequency cores pair on an L2, as in the paper's Core 2 Quad.
+  M.Cores = {{0, 0}, {0, 0}, {1, 1}, {1, 1}};
+  return M;
+}
+
+MachineConfig MachineConfig::threeCore() {
+  MachineConfig M;
+  M.CoreTypes = {fastType(), slowType()};
+  M.Cores = {{0, 0}, {0, 0}, {1, 1}};
+  return M;
+}
+
+MachineConfig MachineConfig::symmetricQuad() {
+  MachineConfig M;
+  M.CoreTypes = {fastType()};
+  M.Cores = {{0, 0}, {0, 0}, {0, 1}, {0, 1}};
+  return M;
+}
+
+MachineConfig MachineConfig::octoAsymmetric() {
+  MachineConfig M;
+  M.CoreTypes = {fastType(), slowType()};
+  M.Cores = {{0, 0}, {0, 0}, {0, 1}, {0, 1},
+             {1, 2}, {1, 2}, {1, 3}, {1, 3}};
+  return M;
+}

@@ -1,0 +1,65 @@
+//===- sim/PerfCounters.h - PAPI-like counter slot manager ------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the paper's PAPI usage (Sec. III): hardware performance
+/// counters are a limited resource, so "we require programs to wait for
+/// access to the counters". A fixed number of monitoring slots is shared
+/// machine-wide; a process that cannot obtain a slot retries at its next
+/// phase mark, paying a small wait cost (the paper reports such waits are
+/// rare and negligible, which the simulation reproduces because very
+/// little code is ever monitored).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SIM_PERFCOUNTERS_H
+#define PBT_SIM_PERFCOUNTERS_H
+
+#include <cstdint>
+
+namespace pbt {
+
+/// Machine-wide pool of hardware-counter monitoring slots.
+class CounterManager {
+public:
+  /// \p NumSlots concurrent monitoring sessions are possible; 0 means
+  /// unlimited (no contention modeling).
+  explicit CounterManager(uint32_t NumSlots = 4) : Slots(NumSlots) {}
+
+  /// Attempts to reserve a slot; returns true on success.
+  bool acquire() {
+    if (Slots == 0) {
+      ++Active; // Unlimited mode still tracks activity.
+      return true;
+    }
+    if (Active >= Slots) {
+      ++FailedAcquires;
+      return false;
+    }
+    ++Active;
+    return true;
+  }
+
+  /// Releases a previously acquired slot.
+  void release() {
+    if (Active > 0)
+      --Active;
+  }
+
+  uint32_t active() const { return Active; }
+
+  /// Number of acquisition attempts that had to wait.
+  uint64_t failedAcquires() const { return FailedAcquires; }
+
+private:
+  uint32_t Slots;
+  uint32_t Active = 0;
+  uint64_t FailedAcquires = 0;
+};
+
+} // namespace pbt
+
+#endif // PBT_SIM_PERFCOUNTERS_H

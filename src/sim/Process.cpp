@@ -1,0 +1,25 @@
+//===- sim/Process.cpp - Simulated process state ---------------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Process.h"
+
+using namespace pbt;
+
+Process::Process(uint32_t PidIn,
+                 std::shared_ptr<const InstrumentedProgram> IProgIn,
+                 std::shared_ptr<const CostModel> CostIn,
+                 TunerConfig TunerCfg, uint32_t NumCoreTypes, uint64_t Seed,
+                 uint64_t AllCoresMask)
+    : Pid(PidIn), IProg(std::move(IProgIn)), Cost(std::move(CostIn)),
+      Gen(Seed),
+      Tuner(std::max(1u, IProg->numTypes()), NumCoreTypes, TunerCfg),
+      AffinityMask(AllCoresMask) {
+  const Program &Prog = IProg->program();
+  Name = Prog.Name;
+  LoopRemaining.resize(Prog.Procs.size());
+  for (const Procedure &P : Prog.Procs)
+    LoopRemaining[P.Id].assign(P.Blocks.size(), 0);
+}

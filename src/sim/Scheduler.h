@@ -1,0 +1,55 @@
+//===- sim/Scheduler.h - Scheduling policies --------------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling-policy interface and the asymmetry-oblivious baseline.
+/// The paper compares against "an unmodified Linux 2.6.22 kernel (which
+/// uses the O(1) scheduler)": per-core runqueues, round-robin timeslices,
+/// periodic load balancing by queue length, full respect for process
+/// affinity masks, and no knowledge of core asymmetry. ObliviousScheduler
+/// models exactly that contract. Phase-based tuning runs on top of the
+/// same policy — the technique never modifies the OS scheduler, it only
+/// issues affinity calls from inside the instrumented processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SIM_SCHEDULER_H
+#define PBT_SIM_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+class Machine;
+struct Process;
+
+/// Placement/balancing policy plugged into the Machine.
+class SchedulerPolicy {
+public:
+  virtual ~SchedulerPolicy();
+
+  /// Picks a core for a ready process (new arrival or migration). Must
+  /// honor the process's affinity mask; the machine guarantees at least
+  /// one allowed core exists.
+  virtual uint32_t selectCore(const Machine &M, const Process &P) = 0;
+
+  /// Periodic load balancing; may move queued (not running) processes
+  /// between cores via Machine::moveQueued.
+  virtual void balance(Machine &) {}
+};
+
+/// The asymmetry-oblivious Linux-like baseline: least-loaded allowed core
+/// on placement; balancing pulls from the longest to the shortest queue.
+class ObliviousScheduler final : public SchedulerPolicy {
+public:
+  uint32_t selectCore(const Machine &M, const Process &P) override;
+  void balance(Machine &M) override;
+};
+
+} // namespace pbt
+
+#endif // PBT_SIM_SCHEDULER_H

@@ -1,0 +1,32 @@
+//===- support/Env.h - Environment-driven experiment scaling ---*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers that let the benchmark harnesses scale their simulated duration
+/// from the environment. `PBT_SCALE` (a positive double, default 1.0)
+/// multiplies simulated workload horizons; `PBT_SCALE=0.1` gives a quick
+/// smoke run, `PBT_SCALE=1` the full paper-shaped experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_ENV_H
+#define PBT_SUPPORT_ENV_H
+
+#include <cstdint>
+
+namespace pbt {
+
+/// Returns the value of `PBT_SCALE` clamped to [0.01, 100], or \p Default
+/// when unset or unparsable.
+double envScale(double Default = 1.0);
+
+/// Returns the value of the integer environment variable \p Name, or
+/// \p Default when unset or unparsable.
+int64_t envInt(const char *Name, int64_t Default);
+
+} // namespace pbt
+
+#endif // PBT_SUPPORT_ENV_H

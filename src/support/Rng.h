@@ -1,0 +1,108 @@
+//===- support/Rng.h - Deterministic random number streams -----*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic PRNGs used throughout the project. All randomness in
+/// the system (workload construction, branch outcomes, clustering error
+/// injection) flows through seeded instances of these generators so that
+/// every experiment is exactly reproducible, mirroring the paper's
+/// methodology of replaying identical job queues under both schedulers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_RNG_H
+#define PBT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pbt {
+
+/// SplitMix64 generator. Tiny state, excellent stream-splitting behaviour;
+/// used both directly and to seed Xoshiro256 streams.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** generator: the project-wide workhorse PRNG.
+class Rng {
+public:
+  /// Creates a generator whose four words of state are derived from \p Seed
+  /// via SplitMix64, per the xoshiro authors' recommendation.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : S)
+      Word = SM.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// non-zero. Uses Lemire-style rejection-free multiply-shift reduction,
+  /// which is slightly biased for huge bounds but more than adequate here.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns an integer uniformly distributed in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Derives an independent child stream. Distinct \p Tag values give
+  /// decorrelated streams; used to hand each process its own RNG.
+  Rng split(uint64_t Tag) {
+    SplitMix64 SM(next() ^ (Tag * 0xD1B54A32D192ED03ULL));
+    return Rng(SM.next());
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace pbt
+
+#endif // PBT_SUPPORT_RNG_H

@@ -1,0 +1,77 @@
+//===- support/Table.cpp - Fixed-width console table printer -------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pbt;
+
+Table::Table(std::vector<std::string> Columns) : Header(std::move(Columns)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::fmtInt(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  std::string Raw(Buf);
+  bool Negative = !Raw.empty() && Raw[0] == '-';
+  std::string Digits = Negative ? Raw.substr(1) : Raw;
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  std::reverse(Out.begin(), Out.end());
+  return Negative ? "-" + Out : Out;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Row.size(); ++I) {
+      std::string Cell = Row[I];
+      Cell.resize(Widths[I], ' ');
+      Line += Cell;
+      if (I + 1 != Row.size())
+        Line += "  ";
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t RuleLen = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    RuleLen += Widths[I] + (I + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(RuleLen, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===- support/Table.h - Fixed-width console table printer -----*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width table builder used by the benchmark harnesses to
+/// print rows in the same shape as the paper's tables and figure series.
+/// Library code renders into a string; only executables print it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_TABLE_H
+#define PBT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+
+/// Accumulates rows of cells and renders them with padded, aligned columns.
+class Table {
+public:
+  /// Creates a table whose first row is the header \p Columns.
+  explicit Table(std::vector<std::string> Columns);
+
+  /// Appends a data row; pads or truncates to the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integer with thousands separators (e.g. "33,636").
+  static std::string fmtInt(long long Value);
+
+  /// Renders the table, header first, then a rule, then the rows.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace pbt
+
+#endif // PBT_SUPPORT_TABLE_H

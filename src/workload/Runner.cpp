@@ -1,0 +1,187 @@
+//===- workload/Runner.cpp - Experiment preparation & execution -----------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Runner.h"
+
+#include "analysis/BlockTyping.h"
+
+#include <cassert>
+
+using namespace pbt;
+
+PreparedSuite pbt::prepareSuite(const std::vector<Program> &Programs,
+                                const MachineConfig &Machine,
+                                const TechniqueSpec &Tech,
+                                uint64_t TypingSeed) {
+  PreparedSuite Suite;
+  Suite.Tuner = Tech.Tuner;
+
+  for (const Program &Prog : Programs) {
+    auto Cost = std::make_shared<const CostModel>(Prog, Machine);
+
+    MarkingResult Marking;
+    if (Tech.Baseline) {
+      // Uninstrumented image: no marks; region typing is irrelevant.
+      Marking.NumTypes = 1;
+      Marking.RegionType.resize(Prog.Procs.size());
+    } else {
+      ProgramTyping Typing;
+      if (Tech.UseStaticTyping) {
+        TypingConfig Config;
+        Config.Seed = TypingSeed;
+        Typing = computeStaticTyping(Prog, Config);
+      } else {
+        Typing = computeOracleTyping(Prog, *Cost);
+      }
+      if (Tech.TypingError > 0)
+        Typing = injectClusteringError(Typing, Tech.TypingError,
+                                       TypingSeed ^ 0xE77);
+      Marking = computeTransitions(Prog, Typing, Tech.Transition);
+    }
+
+    uint64_t Affinity = 0;
+    if (Tech.StaticWholeProgramAssignment) {
+      // Whole-program dominant type: instruction-weighted vote over the
+      // behavioural typing; pin to that core type for the process's
+      // entire life (no phase awareness).
+      ProgramTyping Typing = computeOracleTyping(Prog, *Cost);
+      double MemWeight = 0;
+      double Total = 0;
+      for (const Procedure &P : Prog.Procs) {
+        if (P.Name.find("_cold") != std::string::npos)
+          continue; // Dead code should not vote.
+        for (const BasicBlock &BB : P.Blocks) {
+          // Cycle-weighted vote (HASS uses static performance
+          // estimates): a block's weight is its fast-core cycle cost.
+          double W = Cost->blockCycles(P.Id, BB.Id, 0, 1);
+          Total += W;
+          if (Typing.typeOf(P.Id, BB.Id) == 1)
+            MemWeight += W;
+        }
+      }
+      // Type 1 (memory) maps to the slowest core type, type 0 to the
+      // fastest, mirroring the phase-level policy at program granularity.
+      uint32_t Fast = 0;
+      uint32_t Slow = 0;
+      for (uint32_t Ct = 0; Ct < Machine.numCoreTypes(); ++Ct) {
+        if (Machine.CoreTypes[Ct].Frequency >
+            Machine.CoreTypes[Fast].Frequency)
+          Fast = Ct;
+        if (Machine.CoreTypes[Ct].Frequency <
+            Machine.CoreTypes[Slow].Frequency)
+          Slow = Ct;
+      }
+      // Pin only clearly dominant programs; mixed programs stay
+      // unconstrained (a sensible static assigner would not pin them).
+      double MemShare = Total > 0 ? MemWeight / Total : 0;
+      if (MemShare > 0.65)
+        Affinity = Machine.coreMaskOfType(Slow);
+      else if (MemShare < 0.35)
+        Affinity = Machine.coreMaskOfType(Fast);
+    }
+
+    Suite.Names.push_back(Prog.Name);
+    Suite.Images.push_back(std::make_shared<const InstrumentedProgram>(
+        Prog, std::move(Marking), Tech.Cost));
+    Suite.Costs.push_back(std::move(Cost));
+    Suite.SpawnAffinity.push_back(Affinity);
+  }
+  return Suite;
+}
+
+std::vector<double>
+pbt::isolatedRuntimes(const std::vector<Program> &Programs,
+                      const MachineConfig &MachineCfg, const SimConfig &Sim) {
+  std::vector<double> Times;
+  TechniqueSpec Base = TechniqueSpec::baseline();
+  PreparedSuite Suite = prepareSuite(Programs, MachineCfg, Base);
+  for (uint32_t Bench = 0; Bench < Programs.size(); ++Bench) {
+    CompletedJob Job = runIsolated(Suite, Bench, MachineCfg, Sim);
+    Times.push_back(Job.Completion - Job.Arrival);
+  }
+  return Times;
+}
+
+CompletedJob pbt::runIsolated(const PreparedSuite &Suite, uint32_t Bench,
+                              const MachineConfig &MachineCfg,
+                              const SimConfig &Sim, uint64_t Seed) {
+  Machine M(MachineCfg, Sim, std::make_unique<ObliviousScheduler>());
+  uint32_t Pid =
+      M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner, Seed);
+  // Advance until the process finishes.
+  double Step = 64;
+  while (M.process(Pid).CompletionTime < 0) {
+    M.run(M.now() + Step);
+    assert(M.now() < 1e7 && "isolated benchmark failed to terminate");
+  }
+  const Process &P = M.process(Pid);
+  CompletedJob Job;
+  Job.Bench = Bench;
+  Job.Arrival = P.ArrivalTime;
+  Job.Completion = P.CompletionTime;
+  Job.Stats = P.Stats;
+  return Job;
+}
+
+RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
+                           const MachineConfig &MachineCfg,
+                           const SimConfig &Sim, double Horizon,
+                           const std::vector<double> &Isolated) {
+  RunResult Result;
+  Result.Horizon = Horizon;
+
+  Machine M(MachineCfg, Sim, std::make_unique<ObliviousScheduler>());
+
+  // Per-slot cursor into the job queues; on exit, start the next job of
+  // the finished process's slot (constant workload size).
+  std::vector<uint32_t> NextJob(W.numSlots(), 0);
+  std::vector<uint32_t> BenchOfPid;
+
+  auto SpawnSlot = [&](uint32_t Slot) {
+    uint32_t Index = NextJob[Slot];
+    if (Index >= W.Slots[Slot].size())
+      return; // Queue exhausted (workloads should be sized to avoid this).
+    ++NextJob[Slot];
+    uint32_t Bench = W.Slots[Slot][Index];
+    uint64_t Affinity = Bench < Suite.SpawnAffinity.size()
+                            ? Suite.SpawnAffinity[Bench]
+                            : 0;
+    M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner,
+            W.jobSeed(Slot, Index), static_cast<int32_t>(Slot), Affinity);
+    BenchOfPid.push_back(Bench);
+  };
+
+  M.setExitHandler([&](Machine &, Process &P) {
+    CompletedJob Job;
+    Job.Bench = BenchOfPid[P.Pid];
+    Job.Slot = P.Slot;
+    Job.Arrival = P.ArrivalTime;
+    Job.Completion = P.CompletionTime;
+    if (Job.Bench < Isolated.size())
+      Job.Isolated = Isolated[Job.Bench];
+    Job.Stats = P.Stats;
+    Result.Completed.push_back(Job);
+    if (P.Slot >= 0)
+      SpawnSlot(static_cast<uint32_t>(P.Slot));
+  });
+
+  for (uint32_t Slot = 0; Slot < W.numSlots(); ++Slot)
+    SpawnSlot(Slot);
+
+  M.run(Horizon);
+
+  Result.InstructionsRetired = M.totalInstructions();
+  for (uint32_t Core = 0; Core < MachineCfg.numCores(); ++Core)
+    Result.CoreBusy.push_back(M.coreBusyFraction(Core));
+  for (const auto &P : M.processes()) {
+    Result.TotalSwitches += P->Stats.CoreSwitches;
+    Result.TotalMarks += P->Stats.MarksFired;
+    Result.CounterWaits += P->Stats.CounterWaits;
+    Result.TotalOverheadCycles += P->Stats.OverheadCycles;
+    Result.TotalCycles += P->Stats.CyclesConsumed;
+  }
+  return Result;
+}

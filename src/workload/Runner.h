@@ -1,0 +1,149 @@
+//===- workload/Runner.h - Experiment preparation & execution --*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the static pipeline and the simulator: prepares
+/// instrumented benchmark images for a *technique* (baseline or a
+/// phase-tuning variant), measures isolated runtimes (the t_i of the
+/// paper's fairness metrics), and replays slot/queue workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_WORKLOAD_RUNNER_H
+#define PBT_WORKLOAD_RUNNER_H
+
+#include "core/ErrorInjection.h"
+#include "core/Instrument.h"
+#include "core/Transitions.h"
+#include "core/Tuner.h"
+#include "sim/Machine.h"
+#include "workload/Workload.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pbt {
+
+/// A named configuration under test.
+struct TechniqueSpec {
+  /// Baseline = uninstrumented programs under the oblivious scheduler
+  /// (the paper's "standard Linux assignment").
+  bool Baseline = false;
+  /// Phase-marking configuration (ignored for the baseline).
+  TransitionConfig Transition;
+  /// Dynamic-analysis configuration (ignored for the baseline).
+  TunerConfig Tuner;
+  /// Use the proof-of-concept static k-means typing instead of the
+  /// behavioural oracle (Sec. II-A3 ablation).
+  bool UseStaticTyping = false;
+  /// HASS-style comparator (related work, Shelepov et al.): no marks, no
+  /// dynamic monitoring; each process is statically pinned at spawn to
+  /// the core type matching its whole-program dominant type. Unlike
+  /// phase-based tuning this cannot react to behaviour changes during
+  /// execution.
+  bool StaticWholeProgramAssignment = false;
+  /// Clustering-error fraction injected after typing (Fig. 7).
+  double TypingError = 0;
+  /// Instrumentation cost profile.
+  MarkCostModel Cost = MarkCostModel::tuned();
+
+  std::string label() const {
+    if (StaticWholeProgramAssignment)
+      return "HASS-static";
+    if (Baseline)
+      return "Linux";
+    return Transition.label();
+  }
+
+  static TechniqueSpec baseline() {
+    TechniqueSpec T;
+    T.Baseline = true;
+    return T;
+  }
+
+  static TechniqueSpec hassStatic() {
+    TechniqueSpec T;
+    T.Baseline = true; // No instrumentation...
+    T.StaticWholeProgramAssignment = true; // ...but pinned at spawn.
+    return T;
+  }
+  static TechniqueSpec tuned(TransitionConfig Transition, TunerConfig Tuner) {
+    TechniqueSpec T;
+    T.Transition = Transition;
+    T.Tuner = Tuner;
+    return T;
+  }
+};
+
+/// Ready-to-run benchmark images for one technique on one machine.
+struct PreparedSuite {
+  std::vector<std::shared_ptr<const InstrumentedProgram>> Images;
+  std::vector<std::shared_ptr<const CostModel>> Costs;
+  std::vector<std::string> Names;
+  TunerConfig Tuner;
+  /// Per-benchmark spawn affinity (0 = unconstrained); used by the
+  /// HASS-static comparator.
+  std::vector<uint64_t> SpawnAffinity;
+};
+
+/// Types + marks + instruments every program for \p Tech on \p Machine.
+/// \p TypingSeed drives k-means and error injection.
+PreparedSuite prepareSuite(const std::vector<Program> &Programs,
+                           const MachineConfig &Machine,
+                           const TechniqueSpec &Tech,
+                           uint64_t TypingSeed = 42);
+
+/// Isolated runtime t_i of each program: uninstrumented, alone on the
+/// machine, canonical branch seed.
+std::vector<double> isolatedRuntimes(const std::vector<Program> &Programs,
+                                     const MachineConfig &Machine,
+                                     const SimConfig &Sim = SimConfig());
+
+/// One finished job of a workload run.
+struct CompletedJob {
+  uint32_t Bench = 0;
+  int32_t Slot = -1;
+  double Arrival = 0;
+  double Completion = 0;
+  /// Isolated runtime t_i of the benchmark (0 when not supplied).
+  double Isolated = 0;
+  ProcessStats Stats;
+};
+
+/// Outcome of a workload run.
+struct RunResult {
+  double Horizon = 0;
+  /// Instructions retired machine-wide within the horizon (throughput).
+  uint64_t InstructionsRetired = 0;
+  std::vector<CompletedJob> Completed;
+  /// Aggregates over all processes (finished or not).
+  uint64_t TotalSwitches = 0;
+  uint64_t TotalMarks = 0;
+  uint64_t CounterWaits = 0;
+  double TotalOverheadCycles = 0;
+  double TotalCycles = 0;
+  /// Per-core busy fraction over the horizon (utilization diagnostic).
+  std::vector<double> CoreBusy;
+};
+
+/// Replays \p W on \p MachineCfg for \p Horizon simulated seconds.
+/// \p Isolated, when non-empty, supplies per-benchmark t_i values copied
+/// into CompletedJob::Isolated.
+RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
+                      const MachineConfig &MachineCfg, const SimConfig &Sim,
+                      double Horizon,
+                      const std::vector<double> &Isolated = {});
+
+/// Runs benchmark \p Bench of \p Suite alone to completion; returns the
+/// finished process's record (Table 1 / Fig. 5 per-benchmark data).
+CompletedJob runIsolated(const PreparedSuite &Suite, uint32_t Bench,
+                         const MachineConfig &MachineCfg,
+                         const SimConfig &Sim, uint64_t Seed = 1);
+
+} // namespace pbt
+
+#endif // PBT_WORKLOAD_RUNNER_H

@@ -1,0 +1,29 @@
+//===- workload/Workload.cpp - Slot/queue workload model ------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "support/Rng.h"
+
+using namespace pbt;
+
+uint64_t Workload::jobSeed(uint32_t Slot, uint32_t Index) const {
+  SplitMix64 SM((static_cast<uint64_t>(Slot) << 32) | Index);
+  return SM.next() ^ 0xC0FFEE;
+}
+
+Workload Workload::random(uint32_t NumSlots, uint32_t JobsPerSlot,
+                          uint32_t NumBenchmarks, uint64_t Seed) {
+  Workload W;
+  Rng Gen(Seed);
+  W.Slots.resize(NumSlots);
+  for (auto &Queue : W.Slots) {
+    Queue.reserve(JobsPerSlot);
+    for (uint32_t J = 0; J < JobsPerSlot; ++J)
+      Queue.push_back(static_cast<uint32_t>(Gen.nextBelow(NumBenchmarks)));
+  }
+  return W;
+}

@@ -1,0 +1,44 @@
+//===- workload/Workload.h - Slot/queue workload model ----------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's workload methodology (Sec. IV-A2): a workload has a fixed
+/// number of *slots*, each with its own job queue of randomly selected
+/// benchmarks. All slot queues start one job at time zero; whenever a
+/// job completes, the next job in its slot's queue starts immediately, so
+/// the number of running jobs is constant. Comparing two techniques uses
+/// the *same* queues (and the same per-job branch seeds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_WORKLOAD_WORKLOAD_H
+#define PBT_WORKLOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+
+/// A fixed-size workload: Slots[s] is the job queue (benchmark indices)
+/// of slot s.
+struct Workload {
+  std::vector<std::vector<uint32_t>> Slots;
+
+  uint32_t numSlots() const { return static_cast<uint32_t>(Slots.size()); }
+
+  /// Deterministic per-job branch seed: identical across techniques so
+  /// both schedulers replay identical dynamic traces.
+  uint64_t jobSeed(uint32_t Slot, uint32_t Index) const;
+
+  /// Builds a random workload of \p NumSlots slots, each queueing
+  /// \p JobsPerSlot uniformly drawn benchmarks out of \p NumBenchmarks.
+  static Workload random(uint32_t NumSlots, uint32_t JobsPerSlot,
+                         uint32_t NumBenchmarks, uint64_t Seed);
+};
+
+} // namespace pbt
+
+#endif // PBT_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,105 @@
+//===- tests/callgraph_test.cpp - call graph tests ------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pbt;
+
+namespace {
+
+/// Builds a program whose procedure P calls the procedures listed in
+/// Calls[P] (one call block per callee).
+Program makeCalls(const std::vector<std::vector<uint32_t>> &Calls) {
+  IRBuilder B("cg");
+  for (uint32_t P = 0; P < Calls.size(); ++P)
+    B.createProc("p" + std::to_string(P));
+  for (uint32_t P = 0; P < Calls.size(); ++P) {
+    uint32_t Prev = B.addBlock(P);
+    for (uint32_t Callee : Calls[P]) {
+      B.appendCall(P, Prev, Callee);
+      uint32_t Next = B.addBlock(P);
+      B.setJump(P, Prev, Next);
+      Prev = Next;
+    }
+    B.setRet(P, Prev);
+  }
+  return B.take();
+}
+
+size_t positionOf(const std::vector<uint32_t> &Order, uint32_t Proc) {
+  return std::find(Order.begin(), Order.end(), Proc) - Order.begin();
+}
+
+} // namespace
+
+TEST(CallGraph, LeafProgram) {
+  Program Prog = makeCalls({{}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_TRUE(Cg.Callees[0].empty());
+  EXPECT_FALSE(Cg.isRecursive(0));
+  EXPECT_EQ(Cg.BottomUpOrder.size(), 1u);
+}
+
+TEST(CallGraph, CalleesBeforeCallers) {
+  // 0 calls 1 and 2; 1 calls 2.
+  Program Prog = makeCalls({{1, 2}, {2}, {}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_LT(positionOf(Cg.BottomUpOrder, 2), positionOf(Cg.BottomUpOrder, 1));
+  EXPECT_LT(positionOf(Cg.BottomUpOrder, 1), positionOf(Cg.BottomUpOrder, 0));
+}
+
+TEST(CallGraph, CallersAreInverse) {
+  Program Prog = makeCalls({{1, 2}, {2}, {}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_EQ(Cg.Callers[2], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(Cg.Callers[1], (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(Cg.Callers[0].empty());
+}
+
+TEST(CallGraph, DuplicateCallsDeduplicated) {
+  Program Prog = makeCalls({{1, 1, 1}, {}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_EQ(Cg.Callees[0].size(), 1u);
+}
+
+TEST(CallGraph, DirectRecursionDetected) {
+  Program Prog = makeCalls({{0}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_TRUE(Cg.isRecursive(0));
+}
+
+TEST(CallGraph, MutualRecursionSharesScc) {
+  // 0 calls 1; 1 calls 2; 2 calls 1 (mutual 1<->2).
+  Program Prog = makeCalls({{1}, {2}, {1}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_EQ(Cg.SccId[1], Cg.SccId[2]);
+  EXPECT_NE(Cg.SccId[0], Cg.SccId[1]);
+  EXPECT_TRUE(Cg.isRecursive(1));
+  EXPECT_TRUE(Cg.isRecursive(2));
+  EXPECT_FALSE(Cg.isRecursive(0));
+  // The SCC comes before its caller bottom-up.
+  EXPECT_LT(positionOf(Cg.BottomUpOrder, 1), positionOf(Cg.BottomUpOrder, 0));
+  EXPECT_LT(positionOf(Cg.BottomUpOrder, 2), positionOf(Cg.BottomUpOrder, 0));
+}
+
+TEST(CallGraph, DisconnectedProcedures) {
+  Program Prog = makeCalls({{}, {}, {}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_EQ(Cg.BottomUpOrder.size(), 3u);
+  // Distinct singleton SCCs.
+  EXPECT_NE(Cg.SccId[0], Cg.SccId[1]);
+  EXPECT_NE(Cg.SccId[1], Cg.SccId[2]);
+}
+
+TEST(CallGraph, DiamondCallShape) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  Program Prog = makeCalls({{1, 2}, {3}, {3}, {}});
+  CallGraph Cg = buildCallGraph(Prog);
+  EXPECT_LT(positionOf(Cg.BottomUpOrder, 3), positionOf(Cg.BottomUpOrder, 1));
+  EXPECT_LT(positionOf(Cg.BottomUpOrder, 3), positionOf(Cg.BottomUpOrder, 2));
+  EXPECT_EQ(positionOf(Cg.BottomUpOrder, 0), 3u);
+}

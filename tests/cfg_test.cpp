@@ -1,0 +1,121 @@
+//===- tests/cfg_test.cpp - DFS / edge classification tests ---------------===//
+
+#include "analysis/CfgAlgorithms.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+/// Builds a bare procedure from an adjacency list; terminators are
+/// synthesized to satisfy arity (Jump/Cond/Ret) — only the shape matters
+/// for the graph algorithms.
+Procedure makeProc(const std::vector<std::vector<uint32_t>> &Adj) {
+  Procedure P;
+  P.Name = "test";
+  for (uint32_t I = 0; I < Adj.size(); ++I) {
+    BasicBlock BB;
+    BB.Id = I;
+    BB.Succs = Adj[I];
+    if (Adj[I].empty())
+      BB.Term = TermKind::Ret;
+    else if (Adj[I].size() == 1)
+      BB.Term = TermKind::Jump;
+    else
+      BB.Term = TermKind::Cond;
+    P.Blocks.push_back(std::move(BB));
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(Dfs, SingleBlock) {
+  Procedure P = makeProc({{}});
+  CfgDfsResult R = runDfs(P);
+  EXPECT_EQ(R.Preorder, std::vector<uint32_t>{0});
+  EXPECT_EQ(R.Postorder, std::vector<uint32_t>{0});
+  EXPECT_TRUE(R.BackEdges.empty());
+}
+
+TEST(Dfs, ChainOrders) {
+  Procedure P = makeProc({{1}, {2}, {}});
+  CfgDfsResult R = runDfs(P);
+  EXPECT_EQ(R.Preorder, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(R.Postorder, (std::vector<uint32_t>{2, 1, 0}));
+}
+
+TEST(Dfs, SelfLoopIsBackEdge) {
+  Procedure P = makeProc({{0, 1}, {}});
+  CfgDfsResult R = runDfs(P);
+  ASSERT_EQ(R.BackEdges.size(), 1u);
+  EXPECT_EQ(R.BackEdges[0].Src, 0u);
+  EXPECT_EQ(R.BackEdges[0].SuccIndex, 0u);
+  EXPECT_TRUE(R.isBackEdge(0, 0));
+  EXPECT_FALSE(R.isBackEdge(0, 1));
+}
+
+TEST(Dfs, LoopBackEdgeDetected) {
+  // 0 -> 1 -> 2 -> 1 (back), 2 -> 3.
+  Procedure P = makeProc({{1}, {2}, {1, 3}, {}});
+  CfgDfsResult R = runDfs(P);
+  ASSERT_EQ(R.BackEdges.size(), 1u);
+  EXPECT_EQ(R.BackEdges[0].Src, 2u);
+  EXPECT_EQ(P.Blocks[2].Succs[R.BackEdges[0].SuccIndex], 1u);
+}
+
+TEST(Dfs, DiamondHasNoBackEdges) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {}});
+  CfgDfsResult R = runDfs(P);
+  EXPECT_TRUE(R.BackEdges.empty());
+  EXPECT_EQ(R.Preorder.size(), 4u);
+}
+
+TEST(Dfs, UnreachableBlocksExcluded) {
+  Procedure P = makeProc({{}, {0}});
+  CfgDfsResult R = runDfs(P);
+  EXPECT_TRUE(R.Reachable[0]);
+  EXPECT_FALSE(R.Reachable[1]);
+  EXPECT_EQ(R.Preorder.size(), 1u);
+}
+
+TEST(Dfs, CrossEdgeNotBackEdge) {
+  // 0 -> {1, 2}; 1 -> 3; 2 -> 3; 3 -> {} plus cross edge 2 -> 1.
+  Procedure P = makeProc({{1, 2}, {3}, {3, 1}, {}});
+  CfgDfsResult R = runDfs(P);
+  EXPECT_TRUE(R.BackEdges.empty());
+}
+
+TEST(Predecessors, CountsParallelEdges) {
+  Procedure P = makeProc({{1, 1}, {}});
+  auto Preds = predecessors(P);
+  EXPECT_EQ(Preds[1].size(), 2u);
+  EXPECT_TRUE(Preds[0].empty());
+}
+
+TEST(Rpo, EntryFirstExitLast) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {}});
+  std::vector<uint32_t> Rpo = reversePostorder(P);
+  ASSERT_EQ(Rpo.size(), 4u);
+  EXPECT_EQ(Rpo.front(), 0u);
+  EXPECT_EQ(Rpo.back(), 3u);
+}
+
+TEST(Rpo, RespectsTopologicalOrderOnDag) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {4}, {}});
+  std::vector<uint32_t> Rpo = reversePostorder(P);
+  std::vector<int> Pos(P.Blocks.size());
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    Pos[Rpo[I]] = static_cast<int>(I);
+  for (const BasicBlock &BB : P.Blocks)
+    for (uint32_t Succ : BB.Succs)
+      EXPECT_LT(Pos[BB.Id], Pos[Succ]);
+}
+
+TEST(CfgEdge, Ordering) {
+  CfgEdge A{1, 0}, B{1, 1}, C{2, 0};
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+  EXPECT_TRUE(A == (CfgEdge{1, 0}));
+}

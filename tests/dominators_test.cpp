@@ -1,0 +1,85 @@
+//===- tests/dominators_test.cpp - dominator tree tests -------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+Procedure makeProc(const std::vector<std::vector<uint32_t>> &Adj) {
+  Procedure P;
+  for (uint32_t I = 0; I < Adj.size(); ++I) {
+    BasicBlock BB;
+    BB.Id = I;
+    BB.Succs = Adj[I];
+    BB.Term = Adj[I].empty() ? TermKind::Ret
+              : Adj[I].size() == 1 ? TermKind::Jump
+                                   : TermKind::Cond;
+    P.Blocks.push_back(std::move(BB));
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(Dominators, EntryDominatesItself) {
+  Procedure P = makeProc({{}});
+  DominatorTree Dom(P);
+  EXPECT_EQ(Dom.idom(0), 0);
+  EXPECT_TRUE(Dom.dominates(0, 0));
+}
+
+TEST(Dominators, Chain) {
+  Procedure P = makeProc({{1}, {2}, {}});
+  DominatorTree Dom(P);
+  EXPECT_EQ(Dom.idom(1), 0);
+  EXPECT_EQ(Dom.idom(2), 1);
+  EXPECT_TRUE(Dom.dominates(0, 2));
+  EXPECT_FALSE(Dom.dominates(2, 0));
+}
+
+TEST(Dominators, DiamondJoinDominatedByFork) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {}});
+  DominatorTree Dom(P);
+  EXPECT_EQ(Dom.idom(3), 0);
+  EXPECT_FALSE(Dom.dominates(1, 3));
+  EXPECT_FALSE(Dom.dominates(2, 3));
+  EXPECT_TRUE(Dom.dominates(0, 3));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  // 0 -> 1(header) -> 2 -> 1, 2 -> 3.
+  Procedure P = makeProc({{1}, {2}, {1, 3}, {}});
+  DominatorTree Dom(P);
+  EXPECT_TRUE(Dom.dominates(1, 2));
+  EXPECT_TRUE(Dom.dominates(1, 3));
+  EXPECT_EQ(Dom.idom(2), 1);
+}
+
+TEST(Dominators, UnreachableHasNoIdom) {
+  Procedure P = makeProc({{}, {0}});
+  DominatorTree Dom(P);
+  EXPECT_EQ(Dom.idom(1), -1);
+  EXPECT_FALSE(Dom.dominates(0, 1));
+  EXPECT_FALSE(Dom.dominates(1, 0));
+}
+
+TEST(Dominators, NestedLoops) {
+  // 0 -> 1 -> 2 -> 3 -> 2 (inner back), 3 -> 4 -> 1 (outer back), 4 -> 5.
+  Procedure P = makeProc({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  DominatorTree Dom(P);
+  EXPECT_TRUE(Dom.dominates(1, 4));
+  EXPECT_TRUE(Dom.dominates(2, 3));
+  EXPECT_EQ(Dom.idom(5), 4);
+}
+
+TEST(Dominators, ReflexiveAndTransitive) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {4}, {}});
+  DominatorTree Dom(P);
+  for (uint32_t B = 0; B < P.Blocks.size(); ++B)
+    EXPECT_TRUE(Dom.dominates(B, B));
+  EXPECT_TRUE(Dom.dominates(0, 4));
+  EXPECT_TRUE(Dom.dominates(3, 4));
+}

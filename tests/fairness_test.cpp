@@ -1,0 +1,59 @@
+//===- tests/fairness_test.cpp - flow/stretch metric tests ----------------===//
+
+#include "metrics/Fairness.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+CompletedJob job(double Arrival, double Completion, double Isolated) {
+  CompletedJob J;
+  J.Arrival = Arrival;
+  J.Completion = Completion;
+  J.Isolated = Isolated;
+  return J;
+}
+
+} // namespace
+
+TEST(Fairness, EmptyJobs) {
+  FairnessMetrics M = computeFairness({});
+  EXPECT_EQ(M.Jobs, 0u);
+  EXPECT_DOUBLE_EQ(M.MaxFlow, 0.0);
+}
+
+TEST(Fairness, SingleJob) {
+  FairnessMetrics M = computeFairness({job(10, 30, 5)});
+  EXPECT_DOUBLE_EQ(M.MaxFlow, 20.0);
+  EXPECT_DOUBLE_EQ(M.MaxStretch, 4.0);
+  EXPECT_DOUBLE_EQ(M.AvgProcessTime, 20.0);
+  EXPECT_EQ(M.Jobs, 1u);
+}
+
+TEST(Fairness, MaxIsWorstCase) {
+  FairnessMetrics M = computeFairness(
+      {job(0, 10, 10), job(0, 100, 10), job(0, 20, 1)});
+  EXPECT_DOUBLE_EQ(M.MaxFlow, 100.0);
+  EXPECT_DOUBLE_EQ(M.MaxStretch, 20.0); // The 20s job with t=1.
+  EXPECT_NEAR(M.AvgProcessTime, 130.0 / 3, 1e-9);
+}
+
+TEST(Fairness, JobsWithoutIsolatedSkippedForStretch) {
+  FairnessMetrics M = computeFairness({job(0, 50, 0), job(0, 10, 5)});
+  EXPECT_DOUBLE_EQ(M.MaxStretch, 2.0);
+  EXPECT_DOUBLE_EQ(M.MaxFlow, 50.0);
+}
+
+TEST(Fairness, PercentDecrease) {
+  EXPECT_DOUBLE_EQ(percentDecrease(100, 64), 36.0);
+  EXPECT_DOUBLE_EQ(percentDecrease(100, 110), -10.0);
+  EXPECT_DOUBLE_EQ(percentDecrease(0, 5), 0.0);
+}
+
+TEST(Fairness, PercentIncrease) {
+  EXPECT_DOUBLE_EQ(percentIncrease(100, 136), 36.0);
+  EXPECT_DOUBLE_EQ(percentIncrease(100, 90), -10.0);
+  EXPECT_DOUBLE_EQ(percentIncrease(0, 5), 0.0);
+}

@@ -1,0 +1,118 @@
+//===- tests/features_kmeans_test.cpp - features + k-means tests ----------===//
+
+#include "analysis/Features.h"
+#include "analysis/KMeans.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+BasicBlock buildBlock(const InstMix &Mix) {
+  IRBuilder B("f");
+  uint32_t Main = B.createProc("main");
+  uint32_t Entry = B.addBlock(Main);
+  B.appendMix(Main, Entry, Mix);
+  B.setRet(Main, Entry);
+  Program Prog = B.take();
+  return Prog.Procs[0].Blocks[0];
+}
+
+} // namespace
+
+TEST(Features, EmptyBlockIsZero) {
+  BasicBlock BB;
+  BlockFeatures F = computeFeatures(BB, 1024);
+  EXPECT_DOUBLE_EQ(F.MemFrac, 0);
+  EXPECT_DOUBLE_EQ(F.MissRate, 0);
+}
+
+TEST(Features, ComputeVsMemorySeparation) {
+  BlockFeatures Comp = computeFeatures(buildBlock(InstMix::compute(128)), 4096);
+  BlockFeatures Mem =
+      computeFeatures(buildBlock(InstMix::memory(128, 100000, 0.3)), 4096);
+  EXPECT_LT(Comp.MemFrac, Mem.MemFrac);
+  EXPECT_LT(Comp.MissRate, Mem.MissRate);
+  auto PC = Comp.typingPoint();
+  auto PM = Mem.typingPoint();
+  EXPECT_LT(PC[0], PM[0]);
+  EXPECT_LT(PC[1], PM[1]);
+}
+
+TEST(Features, FpFractionMeasured) {
+  BlockFeatures F = computeFeatures(buildBlock(InstMix::compute(100, 0.5)),
+                                    4096);
+  EXPECT_NEAR(F.FpFrac, 0.5, 0.06);
+}
+
+TEST(Features, MissRateDependsOnReferenceCache) {
+  BasicBlock BB = buildBlock(InstMix::memory(128, 50000, 0.4));
+  BlockFeatures Small = computeFeatures(BB, 1000);
+  BlockFeatures Big = computeFeatures(BB, 60000);
+  EXPECT_GT(Small.MissRate, Big.MissRate);
+}
+
+TEST(KMeans, TwoSeparatedClusters) {
+  std::vector<Point2D> Points;
+  for (int I = 0; I < 10; ++I) {
+    Points.push_back({0.0 + I * 0.01, 0.0});
+    Points.push_back({1.0 + I * 0.01, 1.0});
+  }
+  Rng Gen(3);
+  KMeansResult R = kmeans(Points, 2, Gen);
+  // All even indices together, all odd together.
+  for (size_t I = 2; I < Points.size(); I += 2)
+    EXPECT_EQ(R.Assign[I], R.Assign[0]);
+  for (size_t I = 3; I < Points.size(); I += 2)
+    EXPECT_EQ(R.Assign[I], R.Assign[1]);
+  EXPECT_NE(R.Assign[0], R.Assign[1]);
+  EXPECT_LT(R.Inertia, 0.1);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  std::vector<Point2D> Points;
+  Rng Source(8);
+  for (int I = 0; I < 50; ++I)
+    Points.push_back({Source.nextDouble(), Source.nextDouble()});
+  Rng A(5), B(5);
+  KMeansResult RA = kmeans(Points, 3, A);
+  KMeansResult RB = kmeans(Points, 3, B);
+  EXPECT_EQ(RA.Assign, RB.Assign);
+}
+
+TEST(KMeans, SinglePoint) {
+  std::vector<Point2D> Points = {{0.5, 0.5}};
+  Rng Gen(1);
+  KMeansResult R = kmeans(Points, 1, Gen);
+  EXPECT_EQ(R.Assign[0], 0u);
+  EXPECT_DOUBLE_EQ(R.Inertia, 0.0);
+}
+
+TEST(KMeans, MoreClustersThanDistinctPoints) {
+  std::vector<Point2D> Points = {{0, 0}, {0, 0}, {1, 1}};
+  Rng Gen(2);
+  KMeansResult R = kmeans(Points, 3, Gen);
+  for (uint32_t A : R.Assign)
+    EXPECT_LT(A, 3u);
+  EXPECT_LE(R.Inertia, 1e-9);
+}
+
+TEST(KMeans, IdenticalPointsOneEffectiveCluster) {
+  std::vector<Point2D> Points(8, Point2D{0.3, 0.7});
+  Rng Gen(4);
+  KMeansResult R = kmeans(Points, 2, Gen);
+  EXPECT_LE(R.Inertia, 1e-12);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  std::vector<Point2D> Points;
+  Rng Source(9);
+  for (int I = 0; I < 60; ++I)
+    Points.push_back({Source.nextDouble(), Source.nextDouble()});
+  Rng A(5), B(5);
+  double I1 = kmeans(Points, 1, A).Inertia;
+  double I4 = kmeans(Points, 4, B).Inertia;
+  EXPECT_LT(I4, I1);
+}

@@ -1,0 +1,100 @@
+//===- tests/instrument_test.cpp - phase-mark instrumentation -------------===//
+
+#include "core/Instrument.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+Program smallProgram() {
+  IRBuilder B("inst");
+  uint32_t Main = B.createProc("main");
+  uint32_t A = B.addBlock(Main);
+  B.appendMix(Main, A, InstMix::compute(40));
+  uint32_t C = B.addBlock(Main);
+  B.appendMix(Main, C, InstMix::memory(40, 100000, 0.3));
+  uint32_t D = B.addBlock(Main);
+  B.appendMix(Main, D, InstMix::compute(40));
+  B.setJump(Main, A, C);
+  B.setJump(Main, C, D);
+  B.setRet(Main, D);
+  return B.take();
+}
+
+MarkingResult markingWith(std::vector<PhaseMark> Marks) {
+  MarkingResult R;
+  R.NumTypes = 2;
+  R.Marks = std::move(Marks);
+  return R;
+}
+
+} // namespace
+
+TEST(Instrument, EmptyMarkingHasOnlyStubOverhead) {
+  Program Prog = smallProgram();
+  uint64_t Original = Prog.byteSize();
+  InstrumentedProgram Image(std::move(Prog), markingWith({}));
+  EXPECT_EQ(Image.marks().size(), 0u);
+  EXPECT_EQ(Image.instrumentedByteSize(),
+            Original + Image.cost().RuntimeStubBytes);
+}
+
+TEST(Instrument, EdgeMarkLookup) {
+  Program Prog = smallProgram();
+  InstrumentedProgram Image(
+      std::move(Prog),
+      markingWith({{0, 0, 0, MarkPoint::Edge, 1}}));
+  const PhaseMark *M = Image.edgeMark(0, 0, 0);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->PhaseType, 1u);
+  EXPECT_EQ(Image.edgeMark(0, 1, 0), nullptr);
+  EXPECT_EQ(Image.edgeMark(0, 0, 1), nullptr);
+  EXPECT_EQ(Image.callMark(0, 0), nullptr);
+}
+
+TEST(Instrument, CallMarkLookup) {
+  Program Prog = smallProgram();
+  InstrumentedProgram Image(
+      std::move(Prog),
+      markingWith({{0, 1, 0, MarkPoint::CallSite, 0}}));
+  ASSERT_NE(Image.callMark(0, 1), nullptr);
+  EXPECT_EQ(Image.edgeMark(0, 1, 0), nullptr);
+}
+
+TEST(Instrument, SpaceOverheadArithmetic) {
+  Program Prog = smallProgram();
+  double Original = static_cast<double>(Prog.byteSize());
+  InstrumentedProgram Image(
+      std::move(Prog),
+      markingWith({{0, 0, 0, MarkPoint::Edge, 1},
+                   {0, 1, 0, MarkPoint::Edge, 0}}));
+  const MarkCostModel &Cost = Image.cost();
+  double Added = 2.0 * Cost.MarkBytes + Cost.RuntimeStubBytes;
+  EXPECT_NEAR(Image.spaceOverheadPercent(), 100.0 * Added / Original, 1e-9);
+}
+
+TEST(Instrument, AtomStyleCostsMore) {
+  MarkCostModel Tuned = MarkCostModel::tuned();
+  MarkCostModel Atom = MarkCostModel::atomStyle();
+  EXPECT_GT(Atom.MarkInsts, Tuned.MarkInsts);
+  EXPECT_GT(Atom.MarkBytes, Tuned.MarkBytes);
+  // The paper's claim: tuned marks execute about 10x faster.
+  EXPECT_NEAR(static_cast<double>(Atom.MarkInsts) / Tuned.MarkInsts, 10.0,
+              2.0);
+}
+
+TEST(Instrument, MarkBytesWithinPaperBound) {
+  // "each phase mark is at most 78 bytes".
+  EXPECT_LE(MarkCostModel::tuned().MarkBytes, 78u);
+}
+
+TEST(Instrument, ProgramCopyIsIndependent) {
+  Program Prog = smallProgram();
+  size_t Blocks = Prog.blockCount();
+  InstrumentedProgram Image(Prog, markingWith({}));
+  Prog.Procs.clear();
+  EXPECT_EQ(Image.program().blockCount(), Blocks);
+}

@@ -1,0 +1,112 @@
+//===- tests/intervals_test.cpp - interval partition tests ----------------===//
+
+#include "analysis/Intervals.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pbt;
+
+namespace {
+
+Procedure makeProc(const std::vector<std::vector<uint32_t>> &Adj) {
+  Procedure P;
+  for (uint32_t I = 0; I < Adj.size(); ++I) {
+    BasicBlock BB;
+    BB.Id = I;
+    BB.Succs = Adj[I];
+    BB.Term = Adj[I].empty() ? TermKind::Ret
+              : Adj[I].size() == 1 ? TermKind::Jump
+                                   : TermKind::Cond;
+    P.Blocks.push_back(std::move(BB));
+  }
+  return P;
+}
+
+/// Every block belongs to exactly one interval, and that interval lists it.
+void checkPartitionProperty(const Procedure &P,
+                            const IntervalPartition &Part) {
+  ASSERT_EQ(Part.IntervalOf.size(), P.Blocks.size());
+  std::set<uint32_t> Seen;
+  for (uint32_t IntervalIdx = 0; IntervalIdx < Part.Intervals.size();
+       ++IntervalIdx) {
+    for (uint32_t Block : Part.Intervals[IntervalIdx].Blocks) {
+      EXPECT_TRUE(Seen.insert(Block).second)
+          << "block " << Block << " in two intervals";
+      EXPECT_EQ(Part.IntervalOf[Block], IntervalIdx);
+    }
+    EXPECT_EQ(Part.Intervals[IntervalIdx].Blocks.front(),
+              Part.Intervals[IntervalIdx].Header);
+  }
+  EXPECT_EQ(Seen.size(), P.Blocks.size());
+}
+
+} // namespace
+
+TEST(Intervals, SingleBlock) {
+  Procedure P = makeProc({{}});
+  IntervalPartition Part = computeIntervals(P);
+  ASSERT_EQ(Part.Intervals.size(), 1u);
+  EXPECT_EQ(Part.Intervals[0].Header, 0u);
+  checkPartitionProperty(P, Part);
+}
+
+TEST(Intervals, ChainCollapsesToOneInterval) {
+  Procedure P = makeProc({{1}, {2}, {}});
+  IntervalPartition Part = computeIntervals(P);
+  EXPECT_EQ(Part.Intervals.size(), 1u);
+  EXPECT_EQ(Part.Intervals[0].Blocks.size(), 3u);
+  checkPartitionProperty(P, Part);
+}
+
+TEST(Intervals, DiamondIsOneInterval) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {}});
+  IntervalPartition Part = computeIntervals(P);
+  EXPECT_EQ(Part.Intervals.size(), 1u);
+  checkPartitionProperty(P, Part);
+}
+
+TEST(Intervals, LoopHeaderStartsNewInterval) {
+  // 0 -> 1; loop 1 -> 2 -> 1; exit 2 -> 3. Header 1 has a predecessor
+  // inside its own interval-to-be (back edge), so it becomes a separate
+  // interval header.
+  Procedure P = makeProc({{1}, {2}, {1, 3}, {}});
+  IntervalPartition Part = computeIntervals(P);
+  ASSERT_EQ(Part.Intervals.size(), 2u);
+  EXPECT_EQ(Part.Intervals[0].Header, 0u);
+  EXPECT_EQ(Part.Intervals[1].Header, 1u);
+  // The loop body and exit belong to the header's interval.
+  EXPECT_EQ(Part.IntervalOf[2], 1u);
+  EXPECT_EQ(Part.IntervalOf[3], 1u);
+  checkPartitionProperty(P, Part);
+}
+
+TEST(Intervals, ClosedPathsContainHeader) {
+  // The defining interval property: any cycle within an interval passes
+  // through its header. Nested loop example.
+  Procedure P = makeProc({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  IntervalPartition Part = computeIntervals(P);
+  checkPartitionProperty(P, Part);
+  // Inner loop header 2 must head its own interval (its back edge source
+  // 3 is not the outer header).
+  uint32_t InnerInterval = Part.IntervalOf[2];
+  EXPECT_EQ(Part.Intervals[InnerInterval].Header, 2u);
+}
+
+TEST(Intervals, UnreachableBlocksGetSingletons) {
+  Procedure P = makeProc({{}, {0}, {0}});
+  IntervalPartition Part = computeIntervals(P);
+  checkPartitionProperty(P, Part);
+  EXPECT_EQ(Part.Intervals.size(), 3u);
+}
+
+TEST(Intervals, HeadersAreNotAbsorbed) {
+  // Two loops in sequence: each header gets its own interval.
+  Procedure P = makeProc({{1}, {1, 2}, {2, 3}, {}});
+  IntervalPartition Part = computeIntervals(P);
+  checkPartitionProperty(P, Part);
+  EXPECT_EQ(Part.Intervals.size(), 3u);
+  EXPECT_EQ(Part.Intervals[1].Header, 1u);
+  EXPECT_EQ(Part.Intervals[2].Header, 2u);
+}

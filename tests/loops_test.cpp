@@ -1,0 +1,139 @@
+//===- tests/loops_test.cpp - natural-loop analysis tests -----------------===//
+
+#include "analysis/NaturalLoops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pbt;
+
+namespace {
+
+Procedure makeProc(const std::vector<std::vector<uint32_t>> &Adj) {
+  Procedure P;
+  for (uint32_t I = 0; I < Adj.size(); ++I) {
+    BasicBlock BB;
+    BB.Id = I;
+    BB.Succs = Adj[I];
+    BB.Term = Adj[I].empty() ? TermKind::Ret
+              : Adj[I].size() == 1 ? TermKind::Jump
+                                   : TermKind::Cond;
+    P.Blocks.push_back(std::move(BB));
+  }
+  return P;
+}
+
+const Loop *loopWithHeader(const LoopInfo &Info, uint32_t Header) {
+  for (const Loop &L : Info.Loops)
+    if (L.Header == Header)
+      return &L;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Loops, NoLoopsInDag) {
+  Procedure P = makeProc({{1, 2}, {3}, {3}, {}});
+  LoopInfo Info = computeLoops(P);
+  EXPECT_TRUE(Info.Loops.empty());
+  for (int32_t L : Info.InnermostLoop)
+    EXPECT_EQ(L, -1);
+}
+
+TEST(Loops, SelfLoop) {
+  Procedure P = makeProc({{0, 1}, {}});
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_EQ(Info.Loops[0].Header, 0u);
+  EXPECT_EQ(Info.Loops[0].Blocks, std::vector<uint32_t>{0});
+  EXPECT_EQ(Info.depthOf(0), 1u);
+  EXPECT_EQ(Info.depthOf(1), 0u);
+}
+
+TEST(Loops, SimpleLoopMembers) {
+  // 0 -> 1 -> 2 -> 1, 2 -> 3.
+  Procedure P = makeProc({{1}, {2}, {1, 3}, {}});
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_EQ(Info.Loops[0].Header, 1u);
+  EXPECT_EQ(Info.Loops[0].Blocks, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(Loops, NestedLoopsFormForest) {
+  // outer: 1..4 (4->1), inner: 2..3 (3->2).
+  Procedure P = makeProc({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 2u);
+  const Loop *Outer = loopWithHeader(Info, 1);
+  const Loop *Inner = loopWithHeader(Info, 2);
+  ASSERT_TRUE(Outer && Inner);
+  EXPECT_EQ(Outer->Depth, 1u);
+  EXPECT_EQ(Inner->Depth, 2u);
+  EXPECT_EQ(Inner->Parent,
+            static_cast<int32_t>(Outer - Info.Loops.data()));
+  uint32_t InnerIdx = static_cast<uint32_t>(Inner - Info.Loops.data());
+  uint32_t OuterIdx = static_cast<uint32_t>(Outer - Info.Loops.data());
+  EXPECT_TRUE(Info.strictlyNested(InnerIdx, OuterIdx));
+  EXPECT_FALSE(Info.strictlyNested(OuterIdx, InnerIdx));
+}
+
+TEST(Loops, InnermostMapPrefersDeepest) {
+  Procedure P = makeProc({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  LoopInfo Info = computeLoops(P);
+  // Block 2 and 3 are in the inner loop; 1 and 4 only in the outer.
+  EXPECT_EQ(Info.depthOf(2), 2u);
+  EXPECT_EQ(Info.depthOf(3), 2u);
+  EXPECT_EQ(Info.depthOf(1), 1u);
+  EXPECT_EQ(Info.depthOf(4), 1u);
+  EXPECT_EQ(Info.depthOf(0), 0u);
+}
+
+TEST(Loops, SharedHeaderLoopsMerge) {
+  // Two back edges to the same header 1: 1->2->1 and 1->3->1.
+  Procedure P = makeProc({{1}, {2, 3}, {1, 4}, {1}, {}});
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_EQ(Info.Loops[0].Header, 1u);
+  EXPECT_EQ(Info.Loops[0].Blocks, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(Loops, DisjointSiblingLoops) {
+  // 0 -> 1 (1->1 self), exits to 2 (2->2 self), exits to 3.
+  Procedure P = makeProc({{1}, {1, 2}, {2, 3}, {}});
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 2u);
+  for (const Loop &L : Info.Loops) {
+    EXPECT_EQ(L.Parent, -1);
+    EXPECT_EQ(L.Depth, 1u);
+    EXPECT_EQ(L.Blocks.size(), 1u);
+  }
+}
+
+TEST(Loops, ContainsIsExact) {
+  Procedure P = makeProc({{1}, {2}, {1, 3}, {}});
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_TRUE(Info.Loops[0].contains(1));
+  EXPECT_TRUE(Info.Loops[0].contains(2));
+  EXPECT_FALSE(Info.Loops[0].contains(0));
+  EXPECT_FALSE(Info.Loops[0].contains(3));
+}
+
+TEST(Loops, TripleNesting) {
+  // 1 outermost, 2 middle, 3 innermost (self loop).
+  Procedure P = makeProc({
+      {1},          // 0
+      {2},          // 1 outer header
+      {3},          // 2 middle header
+      {3, 4},       // 3 inner self loop, exit to 4
+      {2, 5},       // 4 back to middle, exit 5
+      {1, 6},       // 5 back to outer, exit 6
+      {},           // 6
+  });
+  LoopInfo Info = computeLoops(P);
+  ASSERT_EQ(Info.Loops.size(), 3u);
+  EXPECT_EQ(Info.depthOf(3), 3u);
+  EXPECT_EQ(Info.depthOf(4), 2u);
+  EXPECT_EQ(Info.depthOf(5), 1u);
+}

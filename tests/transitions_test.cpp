@@ -1,0 +1,269 @@
+//===- tests/transitions_test.cpp - phase-transition analysis -------------===//
+
+#include "core/Transitions.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+/// Two-phase program: compute loop then memory loop, plus small glue.
+Program twoPhaseProgram(unsigned BodyInsts = 100) {
+  IRBuilder B("two");
+  uint32_t Main = B.createProc("main");
+  uint32_t Entry = B.addBlock(Main);
+  B.appendMix(Main, Entry, InstMix::compute(8));
+  uint32_t CompBody = B.addBlock(Main);
+  B.appendMix(Main, CompBody, InstMix::compute(BodyInsts));
+  uint32_t Mid = B.addBlock(Main);
+  B.appendMix(Main, Mid, InstMix::compute(4));
+  uint32_t MemBody = B.addBlock(Main);
+  B.appendMix(Main, MemBody, InstMix::memory(BodyInsts, 100000, 0.3));
+  uint32_t Exit = B.addBlock(Main);
+  B.appendMix(Main, Exit, InstMix::compute(4));
+  B.setJump(Main, Entry, CompBody);
+  B.setLoop(Main, CompBody, CompBody, Mid, 50);
+  B.setJump(Main, Mid, MemBody);
+  B.setLoop(Main, MemBody, MemBody, Exit, 50);
+  B.setRet(Main, Exit);
+  return B.take();
+}
+
+/// Manual typing: memory-heavy blocks are type 1.
+ProgramTyping typeByMemory(const Program &Prog) {
+  ProgramTyping Typing;
+  Typing.NumTypes = 2;
+  Typing.TypeOf.resize(Prog.Procs.size());
+  for (const Procedure &P : Prog.Procs) {
+    Typing.TypeOf[P.Id].resize(P.Blocks.size());
+    for (const BasicBlock &BB : P.Blocks)
+      Typing.TypeOf[P.Id][BB.Id] =
+          BB.memOpCount() * 4 > BB.size() ? 1 : 0;
+  }
+  return Typing;
+}
+
+bool hasMarkOnEdge(const MarkingResult &R, uint32_t Proc, uint32_t Block,
+                   uint32_t Succ) {
+  for (const PhaseMark &M : R.Marks)
+    if (M.Point == MarkPoint::Edge && M.Proc == Proc && M.Block == Block &&
+        M.SuccIndex == Succ)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(TransitionLabels, StrategyNamesAndLabels) {
+  EXPECT_STREQ(strategyName(Strategy::BasicBlock), "BB");
+  EXPECT_STREQ(strategyName(Strategy::Interval), "Int");
+  EXPECT_STREQ(strategyName(Strategy::Loop), "Loop");
+  TransitionConfig C;
+  C.Strat = Strategy::BasicBlock;
+  C.MinSize = 15;
+  C.Lookahead = 2;
+  EXPECT_EQ(C.label(), "BB[15,2]");
+  C.Strat = Strategy::Loop;
+  C.MinSize = 45;
+  EXPECT_EQ(C.label(), "Loop[45]");
+}
+
+TEST(BasicBlockStrategy, NaiveMarksEveryTypeChange) {
+  Program Prog = twoPhaseProgram();
+  ProgramTyping Typing = typeByMemory(Prog);
+  TransitionConfig C;
+  C.Strat = Strategy::BasicBlock;
+  C.Naive = true;
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  // Mid -> MemBody is a 0->1 transition; MemBody exit -> Exit is 1->0.
+  EXPECT_TRUE(hasMarkOnEdge(R, 0, 2, 0));
+  EXPECT_TRUE(hasMarkOnEdge(R, 0, 3, 1));
+  // No mark into same-typed CompBody from Entry.
+  EXPECT_FALSE(hasMarkOnEdge(R, 0, 0, 0));
+}
+
+TEST(BasicBlockStrategy, MinSizeSkipsSmallBlocks) {
+  Program Prog = twoPhaseProgram(/*BodyInsts=*/100);
+  ProgramTyping Typing = typeByMemory(Prog);
+  TransitionConfig C;
+  C.Strat = Strategy::BasicBlock;
+  C.MinSize = 20; // Glue blocks (4-8 insts) are below the threshold.
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  for (const PhaseMark &M : R.Marks) {
+    const BasicBlock &Target =
+        Prog.Procs[M.Proc].Blocks[Prog.Procs[M.Proc]
+                                      .Blocks[M.Block]
+                                      .Succs[M.SuccIndex]];
+    EXPECT_GE(Target.size(), 20u) << "mark into small block";
+  }
+  // Still marks the big memory body.
+  EXPECT_TRUE(hasMarkOnEdge(R, 0, 2, 0));
+}
+
+TEST(BasicBlockStrategy, HugeMinSizeYieldsNoMarks) {
+  Program Prog = twoPhaseProgram();
+  ProgramTyping Typing = typeByMemory(Prog);
+  TransitionConfig C;
+  C.Strat = Strategy::BasicBlock;
+  C.MinSize = 10000;
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  EXPECT_TRUE(R.Marks.empty());
+  EXPECT_EQ(R.SectionsConsidered, 0u);
+}
+
+TEST(BasicBlockStrategy, LookaheadSuppressesIsolatedBlocks) {
+  // Chain: big type-0, big type-1 (isolated), big type-0 successors.
+  IRBuilder B("la");
+  uint32_t Main = B.createProc("main");
+  uint32_t A = B.addBlock(Main);
+  B.appendMix(Main, A, InstMix::compute(50));
+  uint32_t Iso = B.addBlock(Main);
+  B.appendMix(Main, Iso, InstMix::memory(50, 100000, 0.3));
+  uint32_t C1 = B.addBlock(Main);
+  B.appendMix(Main, C1, InstMix::compute(50));
+  uint32_t C2 = B.addBlock(Main);
+  B.appendMix(Main, C2, InstMix::compute(50));
+  B.setJump(Main, A, Iso);
+  B.setJump(Main, Iso, C1);
+  B.setJump(Main, C1, C2);
+  B.setRet(Main, C2);
+  Program Prog = B.take();
+  ProgramTyping Typing = typeByMemory(Prog);
+
+  TransitionConfig NoLa;
+  NoLa.Strat = Strategy::BasicBlock;
+  NoLa.MinSize = 10;
+  MarkingResult RNoLa = computeTransitions(Prog, Typing, NoLa);
+  EXPECT_TRUE(hasMarkOnEdge(RNoLa, 0, 0, 0)); // Into the isolated block.
+
+  TransitionConfig La = NoLa;
+  La.Lookahead = 2;
+  MarkingResult RLa = computeTransitions(Prog, Typing, La);
+  // All successors of Iso within depth 2 are type 0 -> the mark into the
+  // type-1 island is suppressed.
+  EXPECT_FALSE(hasMarkOnEdge(RLa, 0, 0, 0));
+  EXPECT_LE(RLa.Marks.size(), RNoLa.Marks.size());
+}
+
+TEST(IntervalStrategy, MarksIntervalEntries) {
+  Program Prog = twoPhaseProgram();
+  ProgramTyping Typing = typeByMemory(Prog);
+  TransitionConfig C;
+  C.Strat = Strategy::Interval;
+  C.MinSize = 30;
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  ASSERT_FALSE(R.Marks.empty());
+  // Marks sit on edges whose endpoints lie in different intervals with
+  // different dominant types; the memory loop must be entered via one.
+  bool IntoMemory = false;
+  for (const PhaseMark &M : R.Marks)
+    IntoMemory |= M.PhaseType == 1;
+  EXPECT_TRUE(IntoMemory);
+}
+
+TEST(LoopStrategy, MarksPhaseLoopBoundaries) {
+  Program Prog = twoPhaseProgram();
+  ProgramTyping Typing = typeByMemory(Prog);
+  TransitionConfig C;
+  C.Strat = Strategy::Loop;
+  C.MinSize = 30;
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  ASSERT_FALSE(R.Marks.empty());
+  // No marks on the self back edges (inside a region).
+  EXPECT_FALSE(hasMarkOnEdge(R, 0, 1, 0));
+  EXPECT_FALSE(hasMarkOnEdge(R, 0, 3, 0));
+  // Entering the memory loop body transitions 0 -> 1.
+  EXPECT_TRUE(hasMarkOnEdge(R, 0, 2, 0));
+}
+
+TEST(LoopStrategy, UniformProgramHasNoMarks) {
+  IRBuilder B("uniform");
+  uint32_t Main = B.createProc("main");
+  uint32_t Entry = B.addBlock(Main);
+  B.appendMix(Main, Entry, InstMix::compute(20));
+  uint32_t Join = B.addLoopRegion(Main, Entry, InstMix::compute(100), 50);
+  B.setRet(Main, Join);
+  Program Prog = B.take();
+  ProgramTyping Typing = typeByMemory(Prog); // Everything type 0.
+  TransitionConfig C;
+  C.Strat = Strategy::Loop;
+  C.MinSize = 30;
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  EXPECT_TRUE(R.Marks.empty());
+}
+
+TEST(LoopStrategy, CallSiteMarkWhenCalleeDiffers) {
+  IRBuilder B("call");
+  uint32_t Main = B.createProc("main");
+  uint32_t Helper = B.createProc("helper");
+  // Helper: memory loop.
+  uint32_t HEntry = B.addBlock(Helper);
+  B.appendMix(Helper, HEntry, InstMix::memory(8, 100000, 0.3));
+  uint32_t HJoin =
+      B.addLoopRegion(Helper, HEntry, InstMix::memory(100, 100000, 0.3), 50);
+  B.setRet(Helper, HJoin);
+  // Main: compute loop, then call helper.
+  uint32_t Entry = B.addBlock(Main);
+  B.appendMix(Main, Entry, InstMix::compute(20));
+  uint32_t Join = B.addLoopRegion(Main, Entry, InstMix::compute(100), 50);
+  B.appendCall(Main, Join, Helper);
+  uint32_t Cont = B.addBlock(Main);
+  B.appendMix(Main, Cont, InstMix::compute(10));
+  B.setJump(Main, Join, Cont);
+  B.setRet(Main, Cont);
+  Program Prog = B.take();
+  ProgramTyping Typing = typeByMemory(Prog);
+  TransitionConfig C;
+  C.Strat = Strategy::Loop;
+  C.MinSize = 30;
+  MarkingResult R = computeTransitions(Prog, Typing, C);
+  bool CallMark = false;
+  bool ContMark = false;
+  for (const PhaseMark &M : R.Marks) {
+    if (M.Point == MarkPoint::CallSite && M.Proc == Main) {
+      CallMark = true;
+      EXPECT_EQ(M.PhaseType, 1u); // Callee is memory-typed.
+    }
+    if (M.Point == MarkPoint::Edge && M.Proc == Main && M.Block == Join)
+      ContMark = true;
+  }
+  EXPECT_TRUE(CallMark);
+  EXPECT_TRUE(ContMark); // Return transition back to compute.
+}
+
+TEST(Transitions, MarksAreUniquePerAnchor) {
+  Program Prog = twoPhaseProgram();
+  ProgramTyping Typing = typeByMemory(Prog);
+  for (Strategy S :
+       {Strategy::BasicBlock, Strategy::Interval, Strategy::Loop}) {
+    TransitionConfig C;
+    C.Strat = S;
+    C.MinSize = 10;
+    MarkingResult R = computeTransitions(Prog, Typing, C);
+    for (size_t I = 1; I < R.Marks.size(); ++I) {
+      const PhaseMark &A = R.Marks[I - 1];
+      const PhaseMark &B = R.Marks[I];
+      EXPECT_FALSE(A.Proc == B.Proc && A.Block == B.Block &&
+                   A.Point == B.Point && A.SuccIndex == B.SuccIndex);
+    }
+  }
+}
+
+TEST(Transitions, RegionTypeCoversEveryBlock) {
+  Program Prog = twoPhaseProgram();
+  ProgramTyping Typing = typeByMemory(Prog);
+  for (Strategy S :
+       {Strategy::BasicBlock, Strategy::Interval, Strategy::Loop}) {
+    TransitionConfig C;
+    C.Strat = S;
+    MarkingResult R = computeTransitions(Prog, Typing, C);
+    ASSERT_EQ(R.RegionType.size(), Prog.Procs.size());
+    for (const Procedure &P : Prog.Procs) {
+      ASSERT_EQ(R.RegionType[P.Id].size(), P.Blocks.size());
+      for (uint32_t T : R.RegionType[P.Id])
+        EXPECT_LT(T, Typing.NumTypes);
+    }
+  }
+}

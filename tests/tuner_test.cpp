@@ -1,0 +1,174 @@
+//===- tests/tuner_test.cpp - Algorithm 2 + tuner state machine -----------===//
+
+#include "core/Tuner.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+TEST(Algorithm2, NoGapKeepsLowestIpcCore) {
+  // All IPCs within delta: do not crowd the efficient cores.
+  EXPECT_EQ(selectOptimalCoreType({1.00, 1.05}, 0.2), 0u);
+  EXPECT_EQ(selectOptimalCoreType({1.05, 1.00}, 0.2), 1u);
+}
+
+TEST(Algorithm2, LargeGapTakesEfficientCore) {
+  EXPECT_EQ(selectOptimalCoreType({1.0, 1.5}, 0.2), 1u);
+  EXPECT_EQ(selectOptimalCoreType({1.5, 1.0}, 0.2), 0u);
+}
+
+TEST(Algorithm2, GapExactlyAtThresholdNotEnough) {
+  // theta > delta is strict.
+  EXPECT_EQ(selectOptimalCoreType({1.0, 1.2}, 0.2), 0u);
+}
+
+TEST(Algorithm2, WalksToTopOfLastBigJump) {
+  // Sorted IPCs 1.0, 1.1, 1.8: jump between 1.1 and 1.8 -> pick index of
+  // 1.8.
+  EXPECT_EQ(selectOptimalCoreType({1.0, 1.1, 1.8}, 0.2), 2u);
+  // Jump early then flat: 1.0, 1.6, 1.7 -> last jump tops at 1.6; 1.7 is
+  // within delta of 1.6 but the pick only advances on jumps: Algorithm 2
+  // keeps d at the jump target 1.6.
+  EXPECT_EQ(selectOptimalCoreType({1.0, 1.6, 1.7}, 0.2), 1u);
+}
+
+TEST(Algorithm2, SingleCoreType) {
+  EXPECT_EQ(selectOptimalCoreType({0.7}, 0.2), 0u);
+}
+
+TEST(Algorithm2, ZeroDeltaChasesMaxIpc) {
+  EXPECT_EQ(selectOptimalCoreType({1.0, 1.01, 1.02}, 0.0), 2u);
+}
+
+namespace {
+
+TunerConfig quickConfig() {
+  TunerConfig C;
+  C.IpcDelta = 0.2;
+  C.MinSampleInsts = 100;
+  return C;
+}
+
+/// Drives one phase type through sampling on both core types.
+void sampleBoth(PhaseTuner &Tuner, uint32_t Phase, double IpcFast,
+                double IpcSlow) {
+  // First mark on core type 0: monitor there.
+  PhaseTuner::Decision D = Tuner.onMark(Phase, 0);
+  EXPECT_TRUE(D.StartMonitor);
+  Tuner.recordSample(Phase, 0, 1000,
+                     static_cast<uint64_t>(1000 / IpcFast));
+  // Next mark: steer to core type 1.
+  D = Tuner.onMark(Phase, 0);
+  EXPECT_EQ(D.TargetCoreType, 1);
+  // Mark while on core type 1: monitor.
+  D = Tuner.onMark(Phase, 1);
+  EXPECT_TRUE(D.StartMonitor);
+  Tuner.recordSample(Phase, 1, 1000,
+                     static_cast<uint64_t>(1000 / IpcSlow));
+}
+
+} // namespace
+
+TEST(PhaseTuner, SamplesThenDecides) {
+  PhaseTuner Tuner(2, 2, quickConfig());
+  EXPECT_FALSE(Tuner.decided(0));
+  sampleBoth(Tuner, 0, 1.0, 1.5); // Big gap: slow (type 1) wins.
+  EXPECT_TRUE(Tuner.decided(0));
+  EXPECT_EQ(Tuner.assignment(0), 1);
+  EXPECT_EQ(Tuner.decisionCount(), 1u);
+  // Subsequent marks just direct switching.
+  PhaseTuner::Decision D = Tuner.onMark(0, 0);
+  EXPECT_EQ(D.TargetCoreType, 1);
+  EXPECT_FALSE(D.StartMonitor);
+}
+
+TEST(PhaseTuner, SmallGapKeepsLowest) {
+  PhaseTuner Tuner(1, 2, quickConfig());
+  sampleBoth(Tuner, 0, 1.00, 1.05);
+  ASSERT_TRUE(Tuner.decided(0));
+  EXPECT_EQ(Tuner.assignment(0), 0);
+}
+
+TEST(PhaseTuner, PhaseTypesIndependent) {
+  PhaseTuner Tuner(2, 2, quickConfig());
+  sampleBoth(Tuner, 0, 1.0, 1.5);
+  EXPECT_TRUE(Tuner.decided(0));
+  EXPECT_FALSE(Tuner.decided(1));
+  sampleBoth(Tuner, 1, 2.0, 2.02);
+  EXPECT_EQ(Tuner.assignment(0), 1);
+  EXPECT_EQ(Tuner.assignment(1), 0);
+}
+
+TEST(PhaseTuner, MinSampleInstsGate) {
+  TunerConfig C = quickConfig();
+  C.MinSampleInsts = 5000;
+  PhaseTuner Tuner(1, 2, C);
+  Tuner.recordSample(0, 0, 1000, 800);
+  Tuner.recordSample(0, 1, 1000, 700);
+  EXPECT_FALSE(Tuner.decided(0)); // Not enough instructions yet.
+  Tuner.recordSample(0, 0, 4500, 3600);
+  Tuner.recordSample(0, 1, 4500, 3100);
+  EXPECT_TRUE(Tuner.decided(0));
+}
+
+TEST(PhaseTuner, SamplesAccumulate) {
+  PhaseTuner Tuner(1, 2, quickConfig());
+  Tuner.recordSample(0, 0, 60, 60);
+  Tuner.recordSample(0, 0, 60, 60);
+  EXPECT_DOUBLE_EQ(Tuner.measuredIpc(0, 0), 1.0);
+}
+
+TEST(PhaseTuner, LateSamplesIgnoredAfterDecision) {
+  PhaseTuner Tuner(1, 2, quickConfig());
+  sampleBoth(Tuner, 0, 1.0, 1.5);
+  ASSERT_TRUE(Tuner.decided(0));
+  double Before = Tuner.measuredIpc(0, 0);
+  Tuner.recordSample(0, 0, 100000, 100);
+  EXPECT_DOUBLE_EQ(Tuner.measuredIpc(0, 0), Before);
+}
+
+TEST(PhaseTuner, SwitchToAllCoresMode) {
+  TunerConfig C = quickConfig();
+  C.SwitchToAllCores = true;
+  PhaseTuner Tuner(2, 2, C);
+  for (int I = 0; I < 10; ++I) {
+    PhaseTuner::Decision D = Tuner.onMark(0, 0);
+    EXPECT_TRUE(D.SwitchAllCores);
+    EXPECT_FALSE(D.StartMonitor);
+    EXPECT_EQ(D.TargetCoreType, -1);
+  }
+  EXPECT_FALSE(Tuner.decided(0));
+}
+
+TEST(PhaseTuner, ResampleExtensionForgetsDecision) {
+  TunerConfig C = quickConfig();
+  C.ResampleAfterMarks = 3;
+  PhaseTuner Tuner(1, 2, C);
+  sampleBoth(Tuner, 0, 1.0, 1.5);
+  ASSERT_TRUE(Tuner.decided(0));
+  // Three post-decision marks trigger a resample.
+  Tuner.onMark(0, 1);
+  Tuner.onMark(0, 1);
+  PhaseTuner::Decision D = Tuner.onMark(0, 1);
+  EXPECT_FALSE(Tuner.decided(0));
+  EXPECT_TRUE(D.StartMonitor); // Re-learning begins immediately.
+}
+
+TEST(PhaseTuner, MeasuredIpcZeroWhenUnsampled) {
+  PhaseTuner Tuner(1, 2, quickConfig());
+  EXPECT_DOUBLE_EQ(Tuner.measuredIpc(0, 0), 0.0);
+}
+
+TEST(PhaseTuner, ThreeCoreTypesSampledInOrder) {
+  PhaseTuner Tuner(1, 3, quickConfig());
+  PhaseTuner::Decision D = Tuner.onMark(0, 0);
+  EXPECT_TRUE(D.StartMonitor);
+  Tuner.recordSample(0, 0, 200, 150);
+  D = Tuner.onMark(0, 0);
+  EXPECT_EQ(D.TargetCoreType, 1);
+  Tuner.recordSample(0, 1, 200, 140);
+  D = Tuner.onMark(0, 0);
+  EXPECT_EQ(D.TargetCoreType, 2);
+  Tuner.recordSample(0, 2, 200, 130);
+  EXPECT_TRUE(Tuner.decided(0));
+}

@@ -1,0 +1,130 @@
+//===- tests/typing_test.cpp - static typing + error injection ------------===//
+
+#include "analysis/BlockTyping.h"
+#include "core/ErrorInjection.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pbt;
+
+namespace {
+
+/// A program whose main has alternating compute/memory blocks.
+Program mixedProgram(unsigned Pairs = 4) {
+  IRBuilder B("mixed");
+  uint32_t Main = B.createProc("main");
+  uint32_t Prev = B.addBlock(Main);
+  B.appendMix(Main, Prev, InstMix::compute(64));
+  for (unsigned I = 0; I < Pairs; ++I) {
+    uint32_t MemB = B.addBlock(Main);
+    B.appendMix(Main, MemB, InstMix::memory(64, 100000, 0.4));
+    B.setJump(Main, Prev, MemB);
+    uint32_t CompB = B.addBlock(Main);
+    B.appendMix(Main, CompB, InstMix::compute(64));
+    B.setJump(Main, MemB, CompB);
+    Prev = CompB;
+  }
+  B.setRet(Main, Prev);
+  return B.take();
+}
+
+} // namespace
+
+TEST(StaticTyping, SeparatesComputeFromMemory) {
+  Program Prog = mixedProgram();
+  TypingConfig Config;
+  ProgramTyping Typing = computeStaticTyping(Prog, Config);
+  ASSERT_EQ(Typing.NumTypes, 2u);
+  const Procedure &Main = Prog.Procs[0];
+  // Blocks alternate compute (even index) / memory (odd index).
+  for (const BasicBlock &BB : Main.Blocks) {
+    bool IsMem = BB.memOpCount() > BB.size() / 4;
+    EXPECT_EQ(Typing.typeOf(0, BB.Id), IsMem ? 1u : 0u)
+        << "block " << BB.Id;
+  }
+}
+
+TEST(StaticTyping, CanonicalTypeZeroIsComputeBound) {
+  Program Prog = mixedProgram();
+  // Regardless of seed, type 0 must be the compute-ish cluster.
+  for (uint64_t Seed : {1ULL, 7ULL, 1234ULL}) {
+    TypingConfig Config;
+    Config.Seed = Seed;
+    ProgramTyping Typing = computeStaticTyping(Prog, Config);
+    EXPECT_EQ(Typing.typeOf(0, 0), 0u) << "seed " << Seed;
+  }
+}
+
+TEST(StaticTyping, ShapeMatchesProgram) {
+  Program Prog = mixedProgram();
+  ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+  ASSERT_EQ(Typing.TypeOf.size(), Prog.Procs.size());
+  for (const Procedure &P : Prog.Procs)
+    EXPECT_EQ(Typing.TypeOf[P.Id].size(), P.Blocks.size());
+}
+
+TEST(StaticTyping, SupportsMoreThanTwoTypes) {
+  Program Prog = mixedProgram();
+  TypingConfig Config;
+  Config.NumTypes = 3;
+  ProgramTyping Typing = computeStaticTyping(Prog, Config);
+  for (const auto &Proc : Typing.TypeOf)
+    for (uint32_t T : Proc)
+      EXPECT_LT(T, 3u);
+}
+
+TEST(Disagreement, ZeroAgainstSelf) {
+  Program Prog = mixedProgram();
+  ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+  EXPECT_DOUBLE_EQ(Typing.disagreement(Typing), 0.0);
+}
+
+TEST(ErrorInjection, ZeroErrorIsIdentity) {
+  Program Prog = mixedProgram();
+  ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+  ProgramTyping Out = injectClusteringError(Typing, 0.0, 5);
+  EXPECT_DOUBLE_EQ(Typing.disagreement(Out), 0.0);
+}
+
+TEST(ErrorInjection, FlipsRequestedFraction) {
+  Program Prog = mixedProgram(10);
+  ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+  size_t Blocks = Prog.blockCount();
+  for (double Err : {0.1, 0.2, 0.3}) {
+    ProgramTyping Out = injectClusteringError(Typing, Err, 5);
+    double D = Typing.disagreement(Out);
+    // Every flipped block must differ (k=2 guarantees a real change).
+    double Expected =
+        std::ceil(Err * static_cast<double>(Blocks)) /
+        static_cast<double>(Blocks);
+    EXPECT_NEAR(D, Expected, 1e-9) << "error " << Err;
+  }
+}
+
+TEST(ErrorInjection, FullErrorFlipsEverything) {
+  Program Prog = mixedProgram();
+  ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+  ProgramTyping Out = injectClusteringError(Typing, 1.0, 5);
+  EXPECT_DOUBLE_EQ(Typing.disagreement(Out), 1.0);
+}
+
+TEST(ErrorInjection, DeterministicForSeed) {
+  Program Prog = mixedProgram();
+  ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
+  ProgramTyping A = injectClusteringError(Typing, 0.25, 42);
+  ProgramTyping B = injectClusteringError(Typing, 0.25, 42);
+  EXPECT_DOUBLE_EQ(A.disagreement(B), 0.0);
+  ProgramTyping C = injectClusteringError(Typing, 0.25, 43);
+  EXPECT_GT(A.disagreement(C), 0.0);
+}
+
+TEST(ErrorInjection, SingleTypeUntouched) {
+  ProgramTyping Typing;
+  Typing.NumTypes = 1;
+  Typing.TypeOf = {{0, 0, 0}};
+  ProgramTyping Out = injectClusteringError(Typing, 0.5, 1);
+  EXPECT_DOUBLE_EQ(Typing.disagreement(Out), 0.0);
+}
