@@ -85,13 +85,15 @@ struct Comparison {
   }
 };
 
-/// Shared experiment context: built suite, isolated runtimes, baseline
-/// run cache keyed by (slots, horizon, seed).
+/// Shared experiment context: built programs, isolated runtimes, and
+/// the prepared baseline suite, computed once per Lab.
 class Lab {
 public:
   explicit Lab(MachineConfig MachineCfg = MachineConfig::quadAsymmetric())
       : MachineCfg(std::move(MachineCfg)), Programs(buildSuite()),
-        Isolated(isolatedRuntimes(Programs, this->MachineCfg, Sim)) {}
+        Isolated(isolatedRuntimes(Programs, this->MachineCfg, Sim)),
+        BaselineSuite(prepareSuite(Programs, this->MachineCfg,
+                                   TechniqueSpec::baseline())) {}
 
   const std::vector<Program> &programs() const { return Programs; }
   const MachineConfig &machine() const { return MachineCfg; }
@@ -102,28 +104,43 @@ public:
   RunResult run(const TechniqueSpec &Tech, uint32_t Slots, double Horizon,
                 uint64_t Seed) const {
     PreparedSuite Suite = prepareSuite(Programs, MachineCfg, Tech);
-    Workload W = Workload::random(
-        Slots, /*JobsPerSlot=*/512,
-        static_cast<uint32_t>(Programs.size()), Seed);
+    Workload W = makeWorkload(Slots, Seed);
     return runWorkload(Suite, W, MachineCfg, Sim, Horizon, Isolated);
   }
 
-  /// Runs baseline + technique on identical queues and seeds.
+  /// Runs baseline + technique on identical queues and seeds. The two
+  /// replays are independent simulations, so they run concurrently on
+  /// the global thread pool (results identical to back-to-back runs).
   Comparison compare(const TechniqueSpec &Tech, uint32_t Slots,
                      double Horizon, uint64_t Seed) const {
+    PreparedSuite TunedSuite = prepareSuite(Programs, MachineCfg, Tech);
+    Workload W = makeWorkload(Slots, Seed);
+    std::vector<WorkloadJob> Jobs(2);
+    Jobs[0] = {&BaselineSuite, &W, &MachineCfg, Sim, Horizon, &Isolated};
+    Jobs[1] = {&TunedSuite, &W, &MachineCfg, Sim, Horizon, &Isolated};
+    std::vector<RunResult> Results = runWorkloads(Jobs);
     Comparison C;
-    C.Base = run(TechniqueSpec::baseline(), Slots, Horizon, Seed);
-    C.Tuned = run(Tech, Slots, Horizon, Seed);
+    C.Base = std::move(Results[0]);
+    C.Tuned = std::move(Results[1]);
     C.BaseFair = computeFairness(C.Base.Completed);
     C.TunedFair = computeFairness(C.Tuned.Completed);
     return C;
   }
 
 private:
+  /// The canonical queue shape shared by run() and compare(): 512 jobs
+  /// per slot keeps every slot busy for the longest horizons used.
+  Workload makeWorkload(uint32_t Slots, uint64_t Seed) const {
+    return Workload::random(Slots, /*JobsPerSlot=*/512,
+                            static_cast<uint32_t>(Programs.size()), Seed);
+  }
+
   MachineConfig MachineCfg;
   SimConfig Sim;
   std::vector<Program> Programs;
   std::vector<double> Isolated;
+  /// Prepared once: every compare() replays the same baseline images.
+  PreparedSuite BaselineSuite;
 };
 
 /// Prints the standard header line for an experiment binary.

@@ -1,0 +1,177 @@
+//===- bench/micro_interpreter.cpp - execution-engine microbenchmark ------===//
+//
+// Measures the simulator's inner loop: interpreted blocks/sec and
+// simulated cycles/sec for the block-at-a-time reference interpreter vs
+// the flat-image engine (exact and fused-chain modes), on the suite's
+// heaviest workload (410.bwaves, the same program micro_static_pipeline
+// uses for the static passes). Runs both an uninstrumented image and a
+// Loop[45]-instrumented one so the mark path is exercised too.
+//
+// Emits BENCH_interpreter.json alongside the human-readable table so the
+// interpreter's performance trajectory is tracked across PRs.
+// PBT_SCALE scales the repetition count; PBT_INTERP_REPS pins it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <memory>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+struct EngineResult {
+  double WallSec = 0;
+  uint64_t Blocks = 0;
+  double Cycles = 0;
+  double blocksPerSec() const { return WallSec > 0 ? Blocks / WallSec : 0; }
+  double cyclesPerSec() const { return WallSec > 0 ? Cycles / WallSec : 0; }
+};
+
+/// Runs benchmark \p Bench of \p Suite alone to completion under \p SC,
+/// \p Reps times; reports the best wall time (setup excluded).
+EngineResult measure(const PreparedSuite &Suite, uint32_t Bench,
+                     const MachineConfig &MC, const SimConfig &SC,
+                     int Reps) {
+  EngineResult Best;
+  Best.WallSec = 1e300;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    Machine M(MC, SC, std::make_unique<ObliviousScheduler>());
+    uint32_t Pid =
+        M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner,
+                /*Seed=*/1, /*Slot=*/-1, /*InitialAffinity=*/0,
+                Suite.Flats[Bench]);
+    auto Start = std::chrono::steady_clock::now();
+    while (M.process(Pid).CompletionTime < 0)
+      M.run(M.now() + 64);
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    const Process &P = M.process(Pid);
+    if (Wall < Best.WallSec) {
+      Best.WallSec = Wall;
+      Best.Blocks = P.Stats.BlocksExecuted;
+      Best.Cycles = P.Stats.CyclesConsumed;
+    }
+  }
+  return Best;
+}
+
+void emitJson(std::FILE *Out, const char *Key, const EngineResult &R,
+              bool Last) {
+  std::fprintf(Out,
+               "    \"%s\": {\"wall_s\": %.6f, \"blocks\": %" PRIu64
+               ", \"cycles\": %.0f, \"blocks_per_sec\": %.0f, "
+               "\"cycles_per_sec\": %.0f}%s\n",
+               Key, R.WallSec, R.Blocks, R.Cycles, R.blocksPerSec(),
+               R.cyclesPerSec(), Last ? "" : ",");
+}
+
+} // namespace
+
+int main() {
+  printHeader("Micro: execution-engine throughput",
+              "interpreter perf tracking (no paper figure)");
+
+  const char *WorkloadName = "410.bwaves";
+  Program Prog;
+  for (const BenchSpec &S : specSuite())
+    if (S.Name == WorkloadName)
+      Prog = buildBenchmark(S);
+  std::vector<Program> Programs;
+  Programs.push_back(std::move(Prog));
+
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TransitionConfig Loop45;
+  Loop45.Strat = Strategy::Loop;
+  Loop45.MinSize = 45;
+  PreparedSuite Plain =
+      prepareSuite(Programs, MC, TechniqueSpec::baseline());
+  PreparedSuite Marked = prepareSuite(
+      Programs, MC, TechniqueSpec::tuned(Loop45, defaultTuner()));
+
+  int Reps = static_cast<int>(
+      envInt("PBT_INTERP_REPS",
+             std::max<int64_t>(1, static_cast<int64_t>(3 * envScale()))));
+
+  SimConfig Reference;
+  Reference.Engine = ExecEngine::Reference;
+  SimConfig Flat;
+  Flat.Engine = ExecEngine::Flat;
+  SimConfig Fused = Flat;
+  Fused.FusedChains = true;
+
+  struct Row {
+    const char *Image;
+    const char *Key;
+    const PreparedSuite *Suite;
+    const SimConfig *Sim;
+    EngineResult R;
+  };
+  std::vector<Row> Rows = {
+      {"plain", "reference", &Plain, &Reference, {}},
+      {"plain", "flat", &Plain, &Flat, {}},
+      {"plain", "flat_fused", &Plain, &Fused, {}},
+      {"instrumented", "reference", &Marked, &Reference, {}},
+      {"instrumented", "flat", &Marked, &Flat, {}},
+      {"instrumented", "flat_fused", &Marked, &Fused, {}},
+  };
+  for (Row &Entry : Rows)
+    Entry.R = measure(*Entry.Suite, 0, MC, *Entry.Sim, Reps);
+
+  Table T({"image", "engine", "wall s", "Mblocks/s", "Mcycles/s",
+           "vs reference"});
+  double RefBps[2] = {Rows[0].R.blocksPerSec(), Rows[3].R.blocksPerSec()};
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &Entry = Rows[I];
+    double Ref = RefBps[I / 3];
+    T.addRow({Entry.Image, Entry.Key, Table::fmt(Entry.R.WallSec, 4),
+              Table::fmt(Entry.R.blocksPerSec() / 1e6, 2),
+              Table::fmt(Entry.R.cyclesPerSec() / 1e6, 1),
+              Ref > 0 ? Table::fmt(Entry.R.blocksPerSec() / Ref, 2) + "x"
+                      : "-"});
+  }
+  std::fputs(T.render().c_str(), stdout);
+
+  const FlatImage &FI = *Plain.Flats[0];
+  std::printf("\nflat image: %u blocks, %u chain records (%.0f%%), "
+              "%u configs/block\n",
+              FI.numBlocks(), FI.chainRecordCount(),
+              100.0 * FI.chainRecordCount() / FI.numBlocks(),
+              FI.configStride());
+  double SpeedPlain =
+      RefBps[0] > 0 ? Rows[1].R.blocksPerSec() / RefBps[0] : 0;
+  double SpeedMarked =
+      RefBps[1] > 0 ? Rows[4].R.blocksPerSec() / RefBps[1] : 0;
+  std::printf("flat-vs-reference speedup: %.2fx plain, %.2fx "
+              "instrumented (acceptance: >= 2x plain)\n",
+              SpeedPlain, SpeedMarked);
+
+  std::FILE *Out = std::fopen("BENCH_interpreter.json", "w");
+  if (!Out) {
+    std::perror("BENCH_interpreter.json");
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"micro_interpreter\",\n");
+  std::fprintf(Out, "  \"workload\": \"%s\",\n", WorkloadName);
+  std::fprintf(Out, "  \"repetitions\": %d,\n", Reps);
+  std::fprintf(Out, "  \"plain\": {\n");
+  emitJson(Out, "reference", Rows[0].R, false);
+  emitJson(Out, "flat", Rows[1].R, false);
+  emitJson(Out, "flat_fused", Rows[2].R, true);
+  std::fprintf(Out, "  },\n  \"instrumented\": {\n");
+  emitJson(Out, "reference", Rows[3].R, false);
+  emitJson(Out, "flat", Rows[4].R, false);
+  emitJson(Out, "flat_fused", Rows[5].R, true);
+  std::fprintf(Out, "  },\n");
+  std::fprintf(Out, "  \"speedup_flat_plain\": %.3f,\n", SpeedPlain);
+  std::fprintf(Out, "  \"speedup_flat_instrumented\": %.3f\n", SpeedMarked);
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::printf("wrote BENCH_interpreter.json\n");
+  return 0;
+}

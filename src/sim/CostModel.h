@@ -86,6 +86,10 @@ public:
 
   const MachineConfig &machine() const { return Machine; }
 
+  /// Largest sharer count the stall tables are built for (the machine's
+  /// biggest L2 group); blockCycles clamps Sharers to [1, maxSharers()].
+  uint32_t maxSharers() const { return MaxSharers; }
+
 private:
   struct BlockEntry {
     uint32_t Insts = 0;

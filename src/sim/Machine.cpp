@@ -62,20 +62,35 @@ Machine::Machine(MachineConfig ConfigIn, SimConfig SimIn,
                  std::unique_ptr<SchedulerPolicy> PolicyIn)
     : Config(std::move(ConfigIn)), Sim(SimIn), Policy(std::move(PolicyIn)),
       Counters(SimIn.CounterSlots), Queues(Config.numCores()),
-      BusyCycles(Config.numCores(), 0.0), Gen(SimIn.Seed) {
+      BusyCycles(Config.numCores(), 0.0), Used(Config.numCores(), 0.0),
+      Gen(SimIn.Seed) {
   assert(Config.numCores() >= 1 && Config.numCores() <= 64 &&
          "machine must have 1..64 cores");
   assert(Policy && "machine needs a scheduling policy");
+  uint32_t NumGroups = 0;
+  for (const CoreDesc &Core : Config.Cores)
+    NumGroups = std::max(NumGroups, Core.L2Group + 1);
+  GroupActive.resize(NumGroups, 0);
 }
 
 uint32_t Machine::spawn(std::shared_ptr<const InstrumentedProgram> IProg,
                         std::shared_ptr<const CostModel> Cost,
                         const TunerConfig &TunerCfg, uint64_t Seed,
-                        int32_t Slot, uint64_t InitialAffinity) {
+                        int32_t Slot, uint64_t InitialAffinity,
+                        std::shared_ptr<const FlatImage> Flat) {
+  if (!Flat) {
+    auto Key = std::make_pair(static_cast<const void *>(IProg.get()),
+                              static_cast<const void *>(Cost.get()));
+    auto &Cached = FlatCache[Key];
+    if (!Cached)
+      Cached = std::make_shared<const FlatImage>(IProg, Cost);
+    Flat = Cached;
+  }
   uint32_t Pid = static_cast<uint32_t>(Procs.size());
   auto P = std::make_unique<Process>(Pid, std::move(IProg), std::move(Cost),
                                      TunerCfg, Config.numCoreTypes(), Seed,
                                      Config.allCoresMask());
+  P->Flat = std::move(Flat);
   if (InitialAffinity != 0) {
     assert((InitialAffinity & Config.allCoresMask()) != 0 &&
            "initial affinity excludes every core");
@@ -131,22 +146,19 @@ void Machine::run(double Until) {
     }
 
     // Effective cache sharing this quantum: active cores per L2 group.
+    // GroupActive/Used are members so no timeslice allocates.
     uint32_t NumCores = Config.numCores();
-    std::vector<uint32_t> GroupActive;
-    for (uint32_t Core = 0; Core < NumCores; ++Core) {
-      uint32_t Group = Config.Cores[Core].L2Group;
-      if (Group >= GroupActive.size())
-        GroupActive.resize(Group + 1, 0);
+    std::fill(GroupActive.begin(), GroupActive.end(), 0u);
+    for (uint32_t Core = 0; Core < NumCores; ++Core)
       if (!Queues[Core].empty())
-        ++GroupActive[Group];
-    }
+        ++GroupActive[Config.Cores[Core].L2Group];
 
     // Work-conserving quantum: after the main pass, cores with leftover
     // budget re-check their queues so work migrated from later-visited
     // cores (or spawned mid-quantum) starts immediately instead of
     // idling until the next tick — as on a real machine, where an idle
     // core picks up a migrated task at once.
-    std::vector<double> Used(NumCores, 0);
+    std::fill(Used.begin(), Used.end(), 0.0);
     for (int Pass = 0; Pass < 4; ++Pass) {
       bool Progress = false;
       for (uint32_t Core = 0; Core < NumCores; ++Core) {
@@ -196,6 +208,159 @@ void Machine::run(double Until) {
 Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,
                                                double BudgetCycles,
                                                uint32_t Sharers) {
+  return Sim.Engine == ExecEngine::Flat
+             ? advanceProcessFlat(P, Core, BudgetCycles, Sharers)
+             : advanceProcessReference(P, Core, BudgetCycles, Sharers);
+}
+
+/// The flat-image interpreter. Mirrors advanceProcessReference exactly —
+/// same block sequence, same RNG draws, and the same floating-point
+/// accumulation order (one add per block, marks charged through
+/// fireMark) — so both engines produce bit-identical ProcessStats. The
+/// difference is purely mechanical: each step is one indexed load from
+/// the FlatImage instead of pointer chases through Program, CostModel,
+/// and InstrumentedProgram, and mark-free superblock chains run in a
+/// dispatch-free inner loop.
+Machine::AdvanceResult Machine::advanceProcessFlat(Process &P, uint32_t Core,
+                                                   double BudgetCycles,
+                                                   uint32_t Sharers) {
+  AdvanceResult R;
+  const FlatImage &FI = *P.Flat;
+  const FlatBlock *Blk = FI.blocks();
+  const double *Cyc = FI.cycleTable();
+  const PhaseMark *Marks = FI.marks();
+  uint32_t Ct = coreType(Core);
+  uint32_t CfgOff = FI.configOffset(Ct, Sharers);
+  uint32_t Cur = P.CurGlobal;
+
+  while (!P.Finished && R.CyclesUsed < BudgetCycles) {
+    const FlatBlock *B = &Blk[Cur];
+
+    if (B->Op == FlatOp::Chain) {
+      if (Sim.FusedChains && !P.MonActive && B->ChainBlocks > 0) {
+        double Sum = FI.chainCycleTable()[B->ChainRow + CfgOff];
+        if (R.CyclesUsed + Sum < BudgetCycles) {
+          // O(1) superblock: the whole mark-free chain fits in the
+          // remaining budget, so charge the fused summary at once.
+          R.CyclesUsed += Sum;
+          P.Stats.InstsRetired += B->ChainInsts;
+          P.Stats.BlocksExecuted += B->ChainBlocks;
+          Cur = B->ChainExit;
+          continue;
+        }
+      }
+      // Exact superblock walk: no terminator dispatch, no mark lookups,
+      // no RNG — just successive records until the chain exit or the
+      // quantum budget. Monitoring is hoisted out of the loop (it can
+      // only change at a mark, and chains are mark-free).
+      if (P.MonActive) {
+        do {
+          double Cycles = Cyc[B->CycleRow + CfgOff];
+          R.CyclesUsed += Cycles;
+          P.Stats.InstsRetired += B->Insts;
+          ++P.Stats.BlocksExecuted;
+          P.MonInsts += B->Insts;
+          P.MonCycles += Cycles;
+          Cur = B->Succ[0];
+          B = &Blk[Cur];
+        } while (B->Op == FlatOp::Chain && R.CyclesUsed < BudgetCycles);
+      } else {
+        do {
+          R.CyclesUsed += Cyc[B->CycleRow + CfgOff];
+          P.Stats.InstsRetired += B->Insts;
+          ++P.Stats.BlocksExecuted;
+          Cur = B->Succ[0];
+          B = &Blk[Cur];
+        } while (B->Op == FlatOp::Chain && R.CyclesUsed < BudgetCycles);
+      }
+      continue;
+    }
+
+    double Cycles = Cyc[B->CycleRow + CfgOff];
+    uint32_t Insts = B->Insts;
+    R.CyclesUsed += Cycles;
+    P.Stats.InstsRetired += Insts;
+    ++P.Stats.BlocksExecuted;
+    if (P.MonActive) {
+      P.MonInsts += Insts;
+      P.MonCycles += Cycles;
+    }
+
+    const PhaseMark *TakenMark = nullptr;
+    switch (B->Op) {
+    case FlatOp::Jump: // Always carries a mark (else it would be Chain).
+      TakenMark = Marks + B->EdgeMark[0];
+      Cur = B->Succ[0];
+      break;
+    case FlatOp::Call: {
+      P.CallStack.push_back(CallFrame{0, 0, B->EdgeMark[0], B->Succ[0]});
+      int32_t CallMark = B->CallMark;
+      Cur = B->Callee;
+      if (CallMark >= 0 &&
+          fireMark(P, Marks[CallMark], Core, R.CyclesUsed)) {
+        R.Migrated = true;
+        P.CurGlobal = Cur;
+        return R;
+      }
+      continue;
+    }
+    case FlatOp::Loop: {
+      uint32_t &Rem = P.LoopRemaining[Cur];
+      if (Rem == 0)
+        Rem = B->TripCount; // First latch execution of this activation.
+      uint32_t Index;
+      if (Rem > 1) {
+        --Rem;
+        Index = 0;
+      } else {
+        Rem = 0;
+        Index = 1;
+      }
+      int32_t Mark = B->EdgeMark[Index];
+      if (Mark >= 0)
+        TakenMark = Marks + Mark;
+      Cur = B->Succ[Index];
+      break;
+    }
+    case FlatOp::Cond: {
+      uint32_t Index = P.Gen.nextBool(B->TakenProb) ? 0 : 1;
+      int32_t Mark = B->EdgeMark[Index];
+      if (Mark >= 0)
+        TakenMark = Marks + Mark;
+      Cur = B->Succ[Index];
+      break;
+    }
+    case FlatOp::Ret: {
+      if (P.CallStack.empty()) {
+        P.Finished = true;
+        R.Finished = true;
+        P.CurGlobal = Cur;
+        return R;
+      }
+      CallFrame Frame = P.CallStack.back();
+      P.CallStack.pop_back();
+      Cur = Frame.ContGlobal;
+      if (Frame.ContMarkIndex >= 0)
+        TakenMark = Marks + Frame.ContMarkIndex;
+      break;
+    }
+    case FlatOp::Chain: // Handled above.
+      break;
+    }
+
+    if (TakenMark && fireMark(P, *TakenMark, Core, R.CyclesUsed)) {
+      R.Migrated = true;
+      P.CurGlobal = Cur;
+      return R;
+    }
+  }
+  P.CurGlobal = Cur;
+  return R;
+}
+
+Machine::AdvanceResult
+Machine::advanceProcessReference(Process &P, uint32_t Core,
+                                 double BudgetCycles, uint32_t Sharers) {
   AdvanceResult R;
   const InstrumentedProgram &IP = *P.IProg;
   const Program &Prog = IP.program();
@@ -228,7 +393,8 @@ Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,
             ContMark
                 ? static_cast<int32_t>(ContMark - IP.marks().data())
                 : -1;
-        P.CallStack.push_back({P.CurProc, BB.Succs[0], ContIndex});
+        P.CallStack.push_back({P.CurProc, BB.Succs[0], ContIndex,
+                               P.Flat->globalId(P.CurProc, BB.Succs[0])});
         const PhaseMark *CallMark = IP.callMark(P.CurProc, P.CurBlock);
         P.CurProc = static_cast<uint32_t>(Callee);
         P.CurBlock = 0;
@@ -243,7 +409,8 @@ Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,
       break;
     }
     case TermKind::Loop: {
-      uint32_t &Rem = P.LoopRemaining[P.CurProc][P.CurBlock];
+      uint32_t &Rem =
+          P.LoopRemaining[P.Flat->globalId(P.CurProc, P.CurBlock)];
       if (Rem == 0)
         Rem = BB.TripCount; // First latch execution of this activation.
       if (Rem > 1) {
@@ -258,7 +425,11 @@ Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,
       break;
     }
     case TermKind::Cond: {
+      // verify() admits single-successor Cond blocks; fold both edges
+      // onto the only successor, exactly like the flat image does.
       uint32_t Index = P.Gen.nextBool(BB.TakenProb) ? 0 : 1;
+      if (BB.Succs.size() < 2)
+        Index = 0;
       TakenMark = IP.edgeMark(P.CurProc, P.CurBlock, Index);
       P.CurBlock = BB.Succs[Index];
       break;

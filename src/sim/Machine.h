@@ -22,6 +22,7 @@
 #ifndef PBT_SIM_MACHINE_H
 #define PBT_SIM_MACHINE_H
 
+#include "sim/FlatImage.h"
 #include "sim/MachineConfig.h"
 #include "sim/PerfCounters.h"
 #include "sim/Process.h"
@@ -30,10 +31,22 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace pbt {
+
+/// Which interpreter advances processes through their programs.
+enum class ExecEngine : uint8_t {
+  /// Flat-image engine: one indexed load per block, superblock chains
+  /// executed in a dispatch-free tight loop. Bit-identical to Reference.
+  Flat,
+  /// Block-at-a-time interpreter over the IR + CostModel + mark lookup,
+  /// retained as the differential-testing oracle.
+  Reference,
+};
 
 /// Simulation knobs independent of the machine's hardware shape.
 struct SimConfig {
@@ -52,6 +65,17 @@ struct SimConfig {
   uint32_t CounterWaitCycles = 500;
   /// Master seed for process RNG derivation.
   uint64_t Seed = 0x5EED;
+  /// Execution engine; both produce bit-identical results.
+  ExecEngine Engine = ExecEngine::Flat;
+  /// Opt-in O(1) superblock accounting: when a whole mark-free chain
+  /// fits in the remaining quantum budget, charge its precomputed cycle
+  /// sum in one step instead of walking the members. Changes the
+  /// floating-point accumulation order (ulp-level drift in cycle totals
+  /// and completion times), so replays are no longer bit-identical to
+  /// the reference engine; integer stats (instructions, blocks, marks)
+  /// are unaffected. Meant for huge sweeps where that drift is
+  /// acceptable; keep off for differential comparisons.
+  bool FusedChains = false;
 };
 
 /// The simulated machine: cores, runqueues, clock, counter slots.
@@ -71,10 +95,14 @@ public:
   /// \p InitialAffinity restricts the process's allowed cores from birth
   /// (0 = all cores), modeling externally pinned processes such as a
   /// HASS-style static whole-program assignment.
+  /// \p Flat, when non-null, supplies a prebuilt execution image (the
+  /// workload runner shares one per benchmark); otherwise the machine
+  /// builds and caches one per (program, cost model) pair.
   uint32_t spawn(std::shared_ptr<const InstrumentedProgram> IProg,
                  std::shared_ptr<const CostModel> Cost,
                  const TunerConfig &TunerCfg, uint64_t Seed,
-                 int32_t Slot = -1, uint64_t InitialAffinity = 0);
+                 int32_t Slot = -1, uint64_t InitialAffinity = 0,
+                 std::shared_ptr<const FlatImage> Flat = nullptr);
 
   /// Advances simulated time to \p Until (absolute seconds).
   void run(double Until);
@@ -115,9 +143,19 @@ private:
     bool Migrated = false;
   };
 
-  /// Runs \p P on \p Core for at most \p BudgetCycles.
+  /// Runs \p P on \p Core for at most \p BudgetCycles (dispatches on
+  /// SimConfig::Engine).
   AdvanceResult advanceProcess(Process &P, uint32_t Core,
                                double BudgetCycles, uint32_t Sharers);
+
+  /// Flat-image engine (see FlatImage.h).
+  AdvanceResult advanceProcessFlat(Process &P, uint32_t Core,
+                                   double BudgetCycles, uint32_t Sharers);
+
+  /// Block-at-a-time reference interpreter (differential oracle).
+  AdvanceResult advanceProcessReference(Process &P, uint32_t Core,
+                                        double BudgetCycles,
+                                        uint32_t Sharers);
 
   /// Executes one phase mark; returns true when the process must migrate
   /// off its current core. Adds overhead cycles to \p Cycles.
@@ -147,6 +185,16 @@ private:
   std::vector<std::deque<uint32_t>> Queues;
   std::vector<std::unique_ptr<Process>> Procs;
   std::vector<double> BusyCycles;
+  /// Per-quantum scratch, hoisted out of run() so timeslices allocate
+  /// nothing: active cores per L2 group, and used cycles per core.
+  std::vector<uint32_t> GroupActive;
+  std::vector<double> Used;
+  /// Flat images built on demand for direct spawn() callers, keyed by
+  /// (program, cost model) identity; entries stay alive with the
+  /// processes holding them.
+  std::map<std::pair<const void *, const void *>,
+           std::shared_ptr<const FlatImage>>
+      FlatCache;
   Rng Gen;
 };
 

@@ -19,7 +19,6 @@ Process::Process(uint32_t PidIn,
       AffinityMask(AllCoresMask) {
   const Program &Prog = IProg->program();
   Name = Prog.Name;
-  LoopRemaining.resize(Prog.Procs.size());
-  for (const Procedure &P : Prog.Procs)
-    LoopRemaining[P.Id].assign(P.Blocks.size(), 0);
+  LoopRemaining.assign(Prog.blockCount(), 0);
+  CallStack.reserve(32);
 }

@@ -21,6 +21,7 @@
 #include "core/Instrument.h"
 #include "core/Tuner.h"
 #include "sim/CostModel.h"
+#include "sim/FlatImage.h"
 #include "support/Rng.h"
 
 #include <cstdint>
@@ -51,11 +52,14 @@ struct ProcessStats {
 };
 
 /// Return-address frame: where to resume in the caller, and which edge
-/// mark (the call continuation transition) fires on return.
+/// mark (the call continuation transition) fires on return. Proc and
+/// ContBlock are maintained by the reference engine, ContGlobal by the
+/// flat engine; a process runs under one engine for its whole life.
 struct CallFrame {
   uint32_t Proc = 0;
   uint32_t ContBlock = 0;
   int32_t ContMarkIndex = -1; ///< Index into the program's mark list.
+  uint32_t ContGlobal = 0;    ///< Continuation as a global block id.
 };
 
 /// A runnable simulated process.
@@ -73,15 +77,20 @@ struct Process {
   /// Program and cost model (shared across processes of one benchmark).
   std::shared_ptr<const InstrumentedProgram> IProg;
   std::shared_ptr<const CostModel> Cost;
+  /// Fused execution image (shared like IProg/Cost; attached at spawn).
+  std::shared_ptr<const FlatImage> Flat;
 
-  /// Control-flow position.
+  /// Control-flow position. CurProc/CurBlock are the reference engine's
+  /// cursor; CurGlobal is the flat engine's (a global block id). Only
+  /// the active engine's cursor is kept current.
   uint32_t CurProc = 0;
   uint32_t CurBlock = 0;
+  uint32_t CurGlobal = 0;
   bool Finished = false;
   std::vector<CallFrame> CallStack;
-  /// Remaining trips of each loop latch (0 = latch not active);
-  /// indexed [proc][block].
-  std::vector<std::vector<uint32_t>> LoopRemaining;
+  /// Remaining trips of each loop latch (0 = latch not active), indexed
+  /// by global block id (FlatImage::globalId).
+  std::vector<uint32_t> LoopRemaining;
 
   /// Branch-outcome randomness (seeded per process).
   Rng Gen;

@@ -7,7 +7,9 @@
 #include "workload/Runner.h"
 
 #include "analysis/BlockTyping.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace pbt;
@@ -87,6 +89,8 @@ PreparedSuite pbt::prepareSuite(const std::vector<Program> &Programs,
     Suite.Images.push_back(std::make_shared<const InstrumentedProgram>(
         Prog, std::move(Marking), Tech.Cost));
     Suite.Costs.push_back(std::move(Cost));
+    Suite.Flats.push_back(std::make_shared<const FlatImage>(
+        Suite.Images.back(), Suite.Costs.back()));
     Suite.SpawnAffinity.push_back(Affinity);
   }
   return Suite;
@@ -95,13 +99,14 @@ PreparedSuite pbt::prepareSuite(const std::vector<Program> &Programs,
 std::vector<double>
 pbt::isolatedRuntimes(const std::vector<Program> &Programs,
                       const MachineConfig &MachineCfg, const SimConfig &Sim) {
-  std::vector<double> Times;
   TechniqueSpec Base = TechniqueSpec::baseline();
   PreparedSuite Suite = prepareSuite(Programs, MachineCfg, Base);
-  for (uint32_t Bench = 0; Bench < Programs.size(); ++Bench) {
-    CompletedJob Job = runIsolated(Suite, Bench, MachineCfg, Sim);
-    Times.push_back(Job.Completion - Job.Arrival);
-  }
+  std::vector<double> Times(Programs.size(), 0.0);
+  ThreadPool::global().parallelFor(Programs.size(), [&](size_t Bench) {
+    CompletedJob Job =
+        runIsolated(Suite, static_cast<uint32_t>(Bench), MachineCfg, Sim);
+    Times[Bench] = Job.Completion - Job.Arrival;
+  });
   return Times;
 }
 
@@ -110,7 +115,8 @@ CompletedJob pbt::runIsolated(const PreparedSuite &Suite, uint32_t Bench,
                               const SimConfig &Sim, uint64_t Seed) {
   Machine M(MachineCfg, Sim, std::make_unique<ObliviousScheduler>());
   uint32_t Pid =
-      M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner, Seed);
+      M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner, Seed,
+              /*Slot=*/-1, /*InitialAffinity=*/0, Suite.Flats[Bench]);
   // Advance until the process finishes.
   double Step = 64;
   while (M.process(Pid).CompletionTime < 0) {
@@ -150,7 +156,8 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
                             ? Suite.SpawnAffinity[Bench]
                             : 0;
     M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner,
-            W.jobSeed(Slot, Index), static_cast<int32_t>(Slot), Affinity);
+            W.jobSeed(Slot, Index), static_cast<int32_t>(Slot), Affinity,
+            Suite.Flats[Bench]);
     BenchOfPid.push_back(Bench);
   };
 
@@ -183,5 +190,33 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
     Result.TotalOverheadCycles += P->Stats.OverheadCycles;
     Result.TotalCycles += P->Stats.CyclesConsumed;
   }
+
+  // Canonical row order: completion time with deterministic tie-breaks,
+  // so per-benchmark tables come out identical however the simulation
+  // interleaved same-quantum exits (and whichever engine produced them).
+  std::stable_sort(Result.Completed.begin(), Result.Completed.end(),
+                   [](const CompletedJob &A, const CompletedJob &B) {
+                     if (A.Completion != B.Completion)
+                       return A.Completion < B.Completion;
+                     if (A.Slot != B.Slot)
+                       return A.Slot < B.Slot;
+                     if (A.Arrival != B.Arrival)
+                       return A.Arrival < B.Arrival;
+                     return A.Bench < B.Bench;
+                   });
   return Result;
+}
+
+std::vector<RunResult>
+pbt::runWorkloads(const std::vector<WorkloadJob> &Jobs) {
+  std::vector<RunResult> Results(Jobs.size());
+  ThreadPool::global().parallelFor(Jobs.size(), [&](size_t I) {
+    const WorkloadJob &Job = Jobs[I];
+    assert(Job.Suite && Job.W && Job.Machine && "incomplete workload job");
+    static const std::vector<double> NoIsolated;
+    Results[I] = runWorkload(*Job.Suite, *Job.W, *Job.Machine, Job.Sim,
+                             Job.Horizon,
+                             Job.Isolated ? *Job.Isolated : NoIsolated);
+  });
+  return Results;
 }

@@ -83,6 +83,9 @@ struct TechniqueSpec {
 struct PreparedSuite {
   std::vector<std::shared_ptr<const InstrumentedProgram>> Images;
   std::vector<std::shared_ptr<const CostModel>> Costs;
+  /// Fused flat execution images, one per benchmark, shared by every
+  /// process spawned from this suite (built once at preparation time).
+  std::vector<std::shared_ptr<const FlatImage>> Flats;
   std::vector<std::string> Names;
   TunerConfig Tuner;
   /// Per-benchmark spawn affinity (0 = unconstrained); used by the
@@ -98,7 +101,9 @@ PreparedSuite prepareSuite(const std::vector<Program> &Programs,
                            uint64_t TypingSeed = 42);
 
 /// Isolated runtime t_i of each program: uninstrumented, alone on the
-/// machine, canonical branch seed.
+/// machine, canonical branch seed. The per-program simulations are
+/// independent, so they run concurrently on the global thread pool;
+/// results are ordered (and bit-identical to) the serial loop.
 std::vector<double> isolatedRuntimes(const std::vector<Program> &Programs,
                                      const MachineConfig &Machine,
                                      const SimConfig &Sim = SimConfig());
@@ -132,11 +137,32 @@ struct RunResult {
 
 /// Replays \p W on \p MachineCfg for \p Horizon simulated seconds.
 /// \p Isolated, when non-empty, supplies per-benchmark t_i values copied
-/// into CompletedJob::Isolated.
+/// into CompletedJob::Isolated. RunResult::Completed is canonically
+/// ordered (completion time, then slot/arrival/bench as tie-breaks) so
+/// downstream tables are stable however the run was scheduled.
 RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
                       const MachineConfig &MachineCfg, const SimConfig &Sim,
                       double Horizon,
                       const std::vector<double> &Isolated = {});
+
+/// One workload replay request for the parallel runner. Pointees must
+/// outlive the runWorkloads call.
+struct WorkloadJob {
+  const PreparedSuite *Suite = nullptr;
+  const Workload *W = nullptr;
+  const MachineConfig *Machine = nullptr;
+  SimConfig Sim;
+  double Horizon = 0;
+  /// Optional per-benchmark t_i values (see runWorkload).
+  const std::vector<double> *Isolated = nullptr;
+};
+
+/// Replays all jobs concurrently on the global thread pool. Each job is
+/// a fully independent simulation (own machine, own process RNG streams
+/// derived from the workload's deterministic seeds), so every result is
+/// bit-identical to a serial runWorkload call, and results are returned
+/// in input order regardless of completion order.
+std::vector<RunResult> runWorkloads(const std::vector<WorkloadJob> &Jobs);
 
 /// Runs benchmark \p Bench of \p Suite alone to completion; returns the
 /// finished process's record (Table 1 / Fig. 5 per-benchmark data).

@@ -1,0 +1,435 @@
+//===- tests/flatimage_test.cpp - flat-engine differential tests ----------===//
+//
+// The flat execution engine must be a perfect stand-in for the
+// block-at-a-time reference interpreter: on randomized programs, across
+// machines with two and three core types, instrumented or not, every
+// ProcessStats field (including the floating-point ones) and every
+// completion time must be bit-identical. The parallel experiment runner
+// must likewise reproduce the serial runner bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Transitions.h"
+#include "ir/IRBuilder.h"
+#include "sim/FlatImage.h"
+#include "sim/Machine.h"
+#include "support/Rng.h"
+#include "workload/Benchmarks.h"
+#include "workload/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+
+namespace {
+
+/// Generates a random but guaranteed-terminating program: within a
+/// procedure control only moves forward, self-loops finitely, or
+/// returns; calls target strictly later procedures (acyclic call graph).
+/// Jump runs give the chain builder real superblocks to fuse.
+Program randomProgram(uint64_t Seed) {
+  Rng Gen(Seed);
+  IRBuilder B("random_" + std::to_string(Seed), Seed);
+  uint32_t NumProcs = 2 + static_cast<uint32_t>(Gen.nextBelow(3));
+  std::vector<uint32_t> BlockCounts;
+  for (uint32_t P = 0; P < NumProcs; ++P) {
+    B.createProc(P == 0 ? "main" : "helper" + std::to_string(P));
+    BlockCounts.push_back(6 + static_cast<uint32_t>(Gen.nextBelow(10)));
+  }
+  for (uint32_t P = 0; P < NumProcs; ++P) {
+    uint32_t N = BlockCounts[P];
+    for (uint32_t I = 0; I < N; ++I)
+      B.addBlock(P);
+    for (uint32_t I = 0; I < N; ++I) {
+      bool Memory = Gen.nextBool(0.4);
+      unsigned Count = 8 + static_cast<unsigned>(Gen.nextBelow(120));
+      // Memory mixes must stream over more lines than the 4 MiB L2
+      // (65536 lines) holds, or the oracle types everything compute-
+      // bound and no phase transitions (hence no marks) exist at all.
+      InstMix Mix =
+          Memory
+              ? InstMix::memory(
+                    Count,
+                    1u << (15 + static_cast<unsigned>(Gen.nextBelow(4))),
+                    0.1 + 0.4 * Gen.nextDouble())
+              // FpShare + the fixed mem/branch fractions must stay
+              // below 1; compute() defaults leave 0.12 reserved.
+              : InstMix::compute(Count, 0.85 * Gen.nextDouble());
+      B.appendMix(P, I, Mix);
+
+      if (I == N - 1) {
+        B.setRet(P, I);
+        continue;
+      }
+      double Roll = Gen.nextDouble();
+      if (Roll < 0.3) {
+        B.setJump(P, I, I + 1); // Chainable straight-line step.
+      } else if (Roll < 0.5) {
+        uint32_t Other =
+            I + 1 + static_cast<uint32_t>(Gen.nextBelow(N - I - 1));
+        B.setCond(P, I, I + 1, Other, 0.1 + 0.8 * Gen.nextDouble());
+      } else if (Roll < 0.8) {
+        // Trip counts large enough that the dynamic analysis can finish
+        // sampling a phase and actually migrate the process.
+        B.setLoop(P, I, I, I + 1,
+                  20 + static_cast<uint32_t>(Gen.nextBelow(700)));
+      } else if (Roll < 0.95 && P + 1 < NumProcs) {
+        uint32_t Callee =
+            P + 1 + static_cast<uint32_t>(Gen.nextBelow(NumProcs - P - 1));
+        B.appendCall(P, I, Callee);
+        B.setJump(P, I, I + 1);
+      } else if (I >= 2) {
+        B.setRet(P, I); // Early return; later blocks may be unreachable.
+      } else {
+        B.setJump(P, I, I + 1);
+      }
+    }
+  }
+  return B.take();
+}
+
+/// A machine with three distinct core types (beyond the paper's two).
+MachineConfig threeTypeMachine() {
+  MachineConfig MC;
+  MC.CoreTypes = {{"fast", 2.4e6, 4096},
+                  {"mid", 2.0e6, 3072},
+                  {"slow", 1.6e6, 2048}};
+  MC.Cores = {{0, 0}, {1, 0}, {2, 1}, {2, 1}};
+  return MC;
+}
+
+TechniqueSpec loopTechnique() {
+  TransitionConfig TC;
+  TC.Strat = Strategy::Loop;
+  TC.MinSize = 30;
+  TunerConfig TU;
+  TU.IpcDelta = 0.2;
+  return TechniqueSpec::tuned(TC, TU);
+}
+
+TechniqueSpec bbTechnique() {
+  TransitionConfig TC;
+  TC.Strat = Strategy::BasicBlock;
+  TC.MinSize = 10;
+  TC.Lookahead = 1;
+  TunerConfig TU;
+  TU.IpcDelta = 0.15;
+  return TechniqueSpec::tuned(TC, TU);
+}
+
+/// Runs one prepared benchmark alone to completion under \p Engine.
+const Process &runAlone(Machine &M, const PreparedSuite &Suite,
+                        uint64_t Seed) {
+  uint32_t Pid = M.spawn(Suite.Images[0], Suite.Costs[0], Suite.Tuner, Seed,
+                         -1, 0, Suite.Flats[0]);
+  while (M.process(Pid).CompletionTime < 0)
+    M.run(M.now() + 64);
+  return M.process(Pid);
+}
+
+void expectStatsIdentical(const ProcessStats &A, const ProcessStats &B) {
+  EXPECT_EQ(A.InstsRetired, B.InstsRetired);
+  EXPECT_EQ(A.BlocksExecuted, B.BlocksExecuted);
+  EXPECT_EQ(A.CyclesConsumed, B.CyclesConsumed); // Exact double equality.
+  EXPECT_EQ(A.CpuSeconds, B.CpuSeconds);
+  EXPECT_EQ(A.CoreSwitches, B.CoreSwitches);
+  EXPECT_EQ(A.MarksFired, B.MarksFired);
+  EXPECT_EQ(A.MonitorSessions, B.MonitorSessions);
+  EXPECT_EQ(A.CounterWaits, B.CounterWaits);
+  EXPECT_EQ(A.OverheadCycles, B.OverheadCycles);
+}
+
+} // namespace
+
+TEST(FlatImage, GlobalIdsFollowProcOffsets) {
+  Program Prog = randomProgram(7);
+  auto Cost = std::make_shared<const CostModel>(
+      Prog, MachineConfig::quadAsymmetric());
+  MarkingResult Empty;
+  Empty.NumTypes = 1;
+  Empty.RegionType.resize(Prog.Procs.size());
+  auto IP =
+      std::make_shared<const InstrumentedProgram>(Prog, std::move(Empty));
+  FlatImage FI(IP, Cost);
+
+  EXPECT_EQ(FI.numBlocks(), Prog.blockCount());
+  uint32_t Expected = 0;
+  for (const Procedure &P : Prog.Procs) {
+    EXPECT_EQ(FI.offsetOf(P.Id), Expected);
+    for (const BasicBlock &BB : P.Blocks) {
+      uint32_t G = FI.globalId(P.Id, BB.Id);
+      EXPECT_EQ(G, Expected + BB.Id);
+      EXPECT_EQ(FI.procOf(G), P.Id);
+      EXPECT_EQ(FI.block(G).Insts, BB.size());
+      // Cycle-table entries are bit-identical to the cost model.
+      for (uint32_t Ct = 0; Ct < FI.numCoreTypes(); ++Ct)
+        for (uint32_t S = 1; S <= FI.maxSharers(); ++S)
+          EXPECT_EQ(FI.cycleTable()[FI.block(G).CycleRow +
+                                    FI.configOffset(Ct, S)],
+                    Cost->blockCycles(P.Id, BB.Id, Ct, S));
+    }
+    Expected += static_cast<uint32_t>(P.Blocks.size());
+  }
+}
+
+TEST(FlatImage, ChainSummariesMatchManualWalk) {
+  Program Prog = randomProgram(11);
+  auto Cost = std::make_shared<const CostModel>(
+      Prog, MachineConfig::quadAsymmetric());
+  MarkingResult Empty;
+  Empty.NumTypes = 1;
+  Empty.RegionType.resize(Prog.Procs.size());
+  auto IP =
+      std::make_shared<const InstrumentedProgram>(Prog, std::move(Empty));
+  FlatImage FI(IP, Cost);
+
+  uint32_t ChainRecords = 0;
+  for (uint32_t G = 0; G < FI.numBlocks(); ++G) {
+    const FlatBlock &F = FI.block(G);
+    if (F.Op != FlatOp::Chain)
+      continue;
+    ++ChainRecords;
+    ASSERT_GT(F.ChainBlocks, 0u) << "terminating program: chains exit";
+    // Walk the chain by hand and check the fused summary.
+    uint64_t Insts = 0;
+    uint32_t Blocks = 0;
+    uint32_t Cur = G;
+    while (FI.block(Cur).Op == FlatOp::Chain) {
+      Insts += FI.block(Cur).Insts;
+      ++Blocks;
+      Cur = FI.block(Cur).Succ[0];
+    }
+    EXPECT_EQ(F.ChainBlocks, Blocks);
+    EXPECT_EQ(F.ChainInsts, Insts);
+    EXPECT_EQ(F.ChainExit, Cur);
+    // Summed cycles for every configuration.
+    for (uint32_t Cfg = 0; Cfg < FI.configStride(); ++Cfg) {
+      double Expect = 0;
+      for (uint32_t Walk = G; FI.block(Walk).Op == FlatOp::Chain;
+           Walk = FI.block(Walk).Succ[0])
+        Expect += FI.cycleTable()[FI.block(Walk).CycleRow + Cfg];
+      EXPECT_NEAR(FI.chainCycleTable()[F.ChainRow + Cfg], Expect,
+                  1e-9 * (1 + Expect));
+    }
+  }
+  EXPECT_EQ(ChainRecords, FI.chainRecordCount());
+  EXPECT_GT(ChainRecords, 0u) << "generator should produce jump runs";
+}
+
+TEST(FlatEngine, BitIdenticalToReferenceIsolated) {
+  uint64_t TotalMarks = 0;
+  uint64_t TotalSwitches = 0;
+  uint64_t TotalMonitors = 0;
+  for (uint64_t Seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    std::vector<Program> Programs = {randomProgram(Seed)};
+    for (const MachineConfig &MC :
+         {MachineConfig::quadAsymmetric(), threeTypeMachine()}) {
+      for (const TechniqueSpec &Tech :
+           {TechniqueSpec::baseline(), loopTechnique(), bbTechnique()}) {
+        PreparedSuite Suite = prepareSuite(Programs, MC, Tech);
+        SimConfig Ref;
+        Ref.Engine = ExecEngine::Reference;
+        SimConfig Flat;
+        Flat.Engine = ExecEngine::Flat;
+        Machine MRef(MC, Ref, std::make_unique<ObliviousScheduler>());
+        Machine MFlat(MC, Flat, std::make_unique<ObliviousScheduler>());
+        const Process &PRef = runAlone(MRef, Suite, 42 + Seed);
+        const Process &PFlat = runAlone(MFlat, Suite, 42 + Seed);
+        SCOPED_TRACE("seed " + std::to_string(Seed) + " cores " +
+                     std::to_string(MC.numCores()) + " tech " +
+                     Tech.label());
+        expectStatsIdentical(PRef.Stats, PFlat.Stats);
+        EXPECT_EQ(PRef.CompletionTime, PFlat.CompletionTime);
+        if (Suite.Images[0]->marks().empty())
+          EXPECT_EQ(PRef.Stats.MarksFired, 0u);
+        TotalMarks += PRef.Stats.MarksFired;
+        TotalSwitches += PRef.Stats.CoreSwitches;
+        TotalMonitors += PRef.Stats.MonitorSessions;
+      }
+    }
+  }
+  // The sweep must exercise the interesting engine paths, or the
+  // differential comparison proves nothing about them.
+  EXPECT_GT(TotalMarks, 0u);
+  EXPECT_GT(TotalSwitches, 0u);
+  EXPECT_GT(TotalMonitors, 0u);
+}
+
+TEST(FlatEngine, BitIdenticalToReferenceUnderContention) {
+  // Multi-process workload: queue rotation, L2-sharing re-evaluation,
+  // counter contention, and migrations must all line up exactly.
+  std::vector<Program> Programs;
+  for (uint64_t Seed : {21ull, 22ull, 23ull})
+    Programs.push_back(randomProgram(Seed));
+  for (const MachineConfig &MC :
+       {MachineConfig::quadAsymmetric(), threeTypeMachine()}) {
+    PreparedSuite Suite = prepareSuite(Programs, MC, loopTechnique());
+    Workload W = Workload::random(6, 64, Programs.size(), 9);
+    SimConfig Ref;
+    Ref.Engine = ExecEngine::Reference;
+    SimConfig Flat;
+    Flat.Engine = ExecEngine::Flat;
+    RunResult A = runWorkload(Suite, W, MC, Ref, 25);
+    RunResult B = runWorkload(Suite, W, MC, Flat, 25);
+
+    EXPECT_EQ(A.InstructionsRetired, B.InstructionsRetired);
+    EXPECT_EQ(A.TotalSwitches, B.TotalSwitches);
+    EXPECT_EQ(A.TotalMarks, B.TotalMarks);
+    EXPECT_EQ(A.CounterWaits, B.CounterWaits);
+    EXPECT_EQ(A.TotalOverheadCycles, B.TotalOverheadCycles);
+    EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+    ASSERT_EQ(A.Completed.size(), B.Completed.size());
+    ASSERT_GT(A.Completed.size(), 0u);
+    for (size_t I = 0; I < A.Completed.size(); ++I) {
+      EXPECT_EQ(A.Completed[I].Bench, B.Completed[I].Bench);
+      EXPECT_EQ(A.Completed[I].Slot, B.Completed[I].Slot);
+      EXPECT_EQ(A.Completed[I].Arrival, B.Completed[I].Arrival);
+      EXPECT_EQ(A.Completed[I].Completion, B.Completed[I].Completion);
+      expectStatsIdentical(A.Completed[I].Stats, B.Completed[I].Stats);
+    }
+  }
+}
+
+TEST(FlatEngine, SingleSuccessorCondFoldsIdentically) {
+  // verify() admits Cond blocks with one successor; both engines must
+  // fold the missing edge onto the only successor — including its mark
+  // — and stay bit-identical.
+  Program Prog;
+  Prog.Name = "cond1";
+  Procedure Main;
+  Main.Id = 0;
+  Main.Name = "main";
+  BasicBlock B0;
+  B0.Id = 0;
+  for (int I = 0; I < 40; ++I)
+    B0.Insts.push_back(Instruction::intAlu());
+  B0.Term = TermKind::Cond;
+  B0.Succs = {1};
+  B0.TakenProb = 0.5; // Both RNG outcomes occur; both must fold.
+  BasicBlock B1;
+  B1.Id = 1;
+  B1.Insts.push_back(Instruction::intAlu());
+  B1.Term = TermKind::Loop;
+  B1.Succs = {0, 2};
+  B1.TripCount = 50;
+  BasicBlock B2;
+  B2.Id = 2;
+  B2.Term = TermKind::Ret;
+  Main.Blocks = {B0, B1, B2};
+  Prog.Procs = {Main};
+  std::string Error;
+  ASSERT_TRUE(verify(Prog, &Error)) << Error;
+
+  MarkingResult Marking;
+  Marking.NumTypes = 2;
+  Marking.RegionType.resize(1);
+  Marking.Marks.push_back({0, 0, 0, MarkPoint::Edge, 0});
+  auto IP = std::make_shared<const InstrumentedProgram>(Prog, Marking);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  auto Cost = std::make_shared<const CostModel>(Prog, MC);
+
+  ProcessStats Stats[2];
+  double Completion[2];
+  int I = 0;
+  for (ExecEngine Engine : {ExecEngine::Reference, ExecEngine::Flat}) {
+    SimConfig SC;
+    SC.Engine = Engine;
+    Machine M(MC, SC, std::make_unique<ObliviousScheduler>());
+    uint32_t Pid = M.spawn(IP, Cost, TunerConfig(), 5);
+    while (M.process(Pid).CompletionTime < 0)
+      M.run(M.now() + 64);
+    Stats[I] = M.process(Pid).Stats;
+    Completion[I] = M.process(Pid).CompletionTime;
+    ++I;
+  }
+  expectStatsIdentical(Stats[0], Stats[1]);
+  EXPECT_EQ(Completion[0], Completion[1]);
+  // The folded edge fires its mark on every traversal, either outcome.
+  EXPECT_EQ(Stats[0].MarksFired, 50u);
+}
+
+TEST(FlatEngine, FusedChainsPreserveIntegerStats) {
+  // The opt-in O(1) fused-chain accounting may drift in the last ulp of
+  // cycle totals but must retire exactly the same instruction and block
+  // streams and fire exactly the same marks.
+  std::vector<Program> Programs = {randomProgram(31)};
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  PreparedSuite Suite = prepareSuite(Programs, MC, loopTechnique());
+  SimConfig Exact;
+  SimConfig Fused;
+  Fused.FusedChains = true;
+  Machine MA(MC, Exact, std::make_unique<ObliviousScheduler>());
+  Machine MB(MC, Fused, std::make_unique<ObliviousScheduler>());
+  const Process &PA = runAlone(MA, Suite, 77);
+  const Process &PB = runAlone(MB, Suite, 77);
+  EXPECT_EQ(PA.Stats.InstsRetired, PB.Stats.InstsRetired);
+  EXPECT_EQ(PA.Stats.BlocksExecuted, PB.Stats.BlocksExecuted);
+  EXPECT_EQ(PA.Stats.MarksFired, PB.Stats.MarksFired);
+  EXPECT_EQ(PA.Stats.CoreSwitches, PB.Stats.CoreSwitches);
+  EXPECT_NEAR(PA.Stats.CyclesConsumed, PB.Stats.CyclesConsumed,
+              1e-6 * PA.Stats.CyclesConsumed);
+  EXPECT_NEAR(PA.CompletionTime, PB.CompletionTime,
+              1e-6 * PA.CompletionTime);
+}
+
+TEST(ParallelRunner, BitIdenticalToSerialRuns) {
+  // Replicated workloads through the thread pool must reproduce the
+  // serial loop exactly, in input order.
+  auto Specs = specSuite();
+  std::vector<Program> Programs;
+  for (const std::string &Name : {"164.gzip", "179.art", "473.astar"})
+    for (const BenchSpec &S : Specs)
+      if (S.Name == Name)
+        Programs.push_back(buildBenchmark(S));
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  PreparedSuite Base = prepareSuite(Programs, MC, TechniqueSpec::baseline());
+  PreparedSuite Tuned = prepareSuite(Programs, MC, loopTechnique());
+
+  std::vector<Workload> Workloads;
+  for (uint64_t Seed : {5ull, 6ull, 7ull, 8ull})
+    Workloads.push_back(
+        Workload::random(4, 64, static_cast<uint32_t>(Programs.size()),
+                         Seed));
+  SimConfig SC;
+  std::vector<WorkloadJob> Jobs;
+  for (size_t I = 0; I < Workloads.size(); ++I) {
+    const PreparedSuite &Suite = I % 2 ? Tuned : Base;
+    Jobs.push_back({&Suite, &Workloads[I], &MC, SC, 20.0, nullptr});
+  }
+
+  std::vector<RunResult> Parallel = runWorkloads(Jobs);
+  ASSERT_EQ(Parallel.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    RunResult Serial =
+        runWorkload(*Jobs[I].Suite, *Jobs[I].W, MC, SC, Jobs[I].Horizon);
+    EXPECT_EQ(Serial.InstructionsRetired, Parallel[I].InstructionsRetired);
+    EXPECT_EQ(Serial.TotalMarks, Parallel[I].TotalMarks);
+    EXPECT_EQ(Serial.TotalCycles, Parallel[I].TotalCycles);
+    ASSERT_EQ(Serial.Completed.size(), Parallel[I].Completed.size());
+    for (size_t J = 0; J < Serial.Completed.size(); ++J) {
+      EXPECT_EQ(Serial.Completed[J].Completion,
+                Parallel[I].Completed[J].Completion);
+      expectStatsIdentical(Serial.Completed[J].Stats,
+                           Parallel[I].Completed[J].Stats);
+    }
+  }
+}
+
+TEST(ParallelRunner, IsolatedRuntimesMatchManualLoop) {
+  auto Specs = specSuite();
+  std::vector<Program> Programs;
+  for (const std::string &Name : {"164.gzip", "179.art"})
+    for (const BenchSpec &S : Specs)
+      if (S.Name == Name)
+        Programs.push_back(buildBenchmark(S));
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  SimConfig SC;
+  std::vector<double> Pooled = isolatedRuntimes(Programs, MC, SC);
+  PreparedSuite Suite =
+      prepareSuite(Programs, MC, TechniqueSpec::baseline());
+  ASSERT_EQ(Pooled.size(), Programs.size());
+  for (uint32_t I = 0; I < Programs.size(); ++I) {
+    CompletedJob Job = runIsolated(Suite, I, MC, SC);
+    EXPECT_EQ(Pooled[I], Job.Completion - Job.Arrival);
+  }
+}

@@ -1,0 +1,103 @@
+//===- tests/threadpool_test.cpp - worker-pool semantics ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace pbt;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::vector<std::atomic<int>> Hits(257);
+  for (auto &H : Hits)
+    H.store(0);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ResultsOrderedByIndexNotCompletion) {
+  ThreadPool Pool(3);
+  std::vector<int> Out(64, -1);
+  Pool.parallelFor(Out.size(), [&](size_t I) {
+    // Early indices do more work, so completion order inverts.
+    volatile unsigned Spin = (I < 8) ? 200000u : 10u;
+    while (Spin > 0)
+      --Spin;
+    Out[I] = static_cast<int>(I);
+  });
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I));
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.size(), 1u);
+  std::vector<int> Order;
+  Pool.parallelFor(5, [&](size_t I) { Order.push_back(static_cast<int>(I)); });
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool Pool(2);
+  std::atomic<int> Total{0};
+  Pool.parallelFor(4, [&](size_t) {
+    Pool.parallelFor(4, [&](size_t) { Total.fetch_add(1); });
+  });
+  EXPECT_EQ(Total.load(), 16);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(
+      Pool.parallelFor(32,
+                       [&](size_t I) {
+                         Ran.fetch_add(1);
+                         if (I == 7)
+                           throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(Ran.load(), 32) << "batch drains even after a throw";
+}
+
+TEST(ThreadPool, SerialPoolDrainsBatchOnException) {
+  // Same contract as the pooled path: every index runs, then the first
+  // error is rethrown — side effects must not depend on pool size.
+  ThreadPool Pool(1);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(
+      Pool.parallelFor(16,
+                       [&](size_t I) {
+                         Ran.fetch_add(1);
+                         if (I == 3)
+                           throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(Ran.load(), 16);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::vector<int> Out(17, 0);
+    Pool.parallelFor(Out.size(), [&](size_t I) {
+      Out[I] = Round + static_cast<int>(I);
+    });
+    for (size_t I = 0; I < Out.size(); ++I)
+      EXPECT_EQ(Out[I], Round + static_cast<int>(I));
+  }
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool Pool(2);
+  bool Called = false;
+  Pool.parallelFor(0, [&](size_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
