@@ -1,19 +1,22 @@
-//===- bench/BenchCommon.h - Shared experiment harness helpers -*- C++ -*-===//
+//===- bench/BenchCommon.h - Shared experiment declarations ----*- C++ -*-===//
 //
 // Part of the phase-based-tuning reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the per-table/per-figure experiment binaries: the
-/// paper's technique-variant grid, workload/fairness runners, and the
-/// simulated-duration scaling hook (`PBT_SCALE`).
+/// Thin shared layer of the per-table/per-figure experiment binaries.
+/// All heavy lifting — labs, suite caching, parallel sweeps, BENCH_*.json
+/// artifacts — lives in the library's `exp/` harness; this header only
+/// declares the paper's technique-variant grid and default tuner, and
+/// re-exports the harness types under the bench namespace.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PBT_BENCH_BENCHCOMMON_H
 #define PBT_BENCH_BENCHCOMMON_H
 
+#include "exp/Harness.h"
 #include "metrics/Fairness.h"
 #include "support/Env.h"
 #include "support/Statistics.h"
@@ -27,6 +30,14 @@
 
 namespace pbt {
 namespace bench {
+
+using exp::Comparison;
+using exp::ExperimentHarness;
+using exp::Lab;
+using exp::SweepCell;
+using exp::SweepGrid;
+using exp::SweepResult;
+using exp::WorkloadSpec;
 
 /// The 18 technique variants of the paper's Table 2 / Fig. 3:
 /// BB[{10,15,20} x lookahead {0..3}], Int[{30,45,60}], Loop[{30,45,60}].
@@ -62,92 +73,20 @@ inline TunerConfig defaultTuner(double Delta = 0.2) {
   return T;
 }
 
-/// One baseline-vs-technique workload comparison.
-struct Comparison {
-  RunResult Base;
-  RunResult Tuned;
-  FairnessMetrics BaseFair;
-  FairnessMetrics TunedFair;
+/// The paper's 18 variants as full technique specs with \p Delta.
+inline std::vector<TechniqueSpec> paperTechniques(double Delta = 0.2) {
+  std::vector<TechniqueSpec> Techniques;
+  for (const TransitionConfig &Variant : paperVariants())
+    Techniques.push_back(TechniqueSpec::tuned(Variant, defaultTuner(Delta)));
+  return Techniques;
+}
 
-  double throughputImprovement() const {
-    return percentIncrease(static_cast<double>(Base.InstructionsRetired),
-                           static_cast<double>(Tuned.InstructionsRetired));
-  }
-  double avgTimeDecrease() const {
-    return percentDecrease(BaseFair.AvgProcessTime,
-                           TunedFair.AvgProcessTime);
-  }
-  double maxFlowDecrease() const {
-    return percentDecrease(BaseFair.MaxFlow, TunedFair.MaxFlow);
-  }
-  double maxStretchDecrease() const {
-    return percentDecrease(BaseFair.MaxStretch, TunedFair.MaxStretch);
-  }
-};
-
-/// Shared experiment context: built programs, isolated runtimes, and
-/// the prepared baseline suite, computed once per Lab.
-class Lab {
-public:
-  explicit Lab(MachineConfig MachineCfg = MachineConfig::quadAsymmetric())
-      : MachineCfg(std::move(MachineCfg)), Programs(buildSuite()),
-        Isolated(isolatedRuntimes(Programs, this->MachineCfg, Sim)),
-        BaselineSuite(prepareSuite(Programs, this->MachineCfg,
-                                   TechniqueSpec::baseline())) {}
-
-  const std::vector<Program> &programs() const { return Programs; }
-  const MachineConfig &machine() const { return MachineCfg; }
-  const SimConfig &sim() const { return Sim; }
-  const std::vector<double> &isolated() const { return Isolated; }
-
-  /// Runs one workload under \p Tech.
-  RunResult run(const TechniqueSpec &Tech, uint32_t Slots, double Horizon,
-                uint64_t Seed) const {
-    PreparedSuite Suite = prepareSuite(Programs, MachineCfg, Tech);
-    Workload W = makeWorkload(Slots, Seed);
-    return runWorkload(Suite, W, MachineCfg, Sim, Horizon, Isolated);
-  }
-
-  /// Runs baseline + technique on identical queues and seeds. The two
-  /// replays are independent simulations, so they run concurrently on
-  /// the global thread pool (results identical to back-to-back runs).
-  Comparison compare(const TechniqueSpec &Tech, uint32_t Slots,
-                     double Horizon, uint64_t Seed) const {
-    PreparedSuite TunedSuite = prepareSuite(Programs, MachineCfg, Tech);
-    Workload W = makeWorkload(Slots, Seed);
-    std::vector<WorkloadJob> Jobs(2);
-    Jobs[0] = {&BaselineSuite, &W, &MachineCfg, Sim, Horizon, &Isolated};
-    Jobs[1] = {&TunedSuite, &W, &MachineCfg, Sim, Horizon, &Isolated};
-    std::vector<RunResult> Results = runWorkloads(Jobs);
-    Comparison C;
-    C.Base = std::move(Results[0]);
-    C.Tuned = std::move(Results[1]);
-    C.BaseFair = computeFairness(C.Base.Completed);
-    C.TunedFair = computeFairness(C.Tuned.Completed);
-    return C;
-  }
-
-private:
-  /// The canonical queue shape shared by run() and compare(): 512 jobs
-  /// per slot keeps every slot busy for the longest horizons used.
-  Workload makeWorkload(uint32_t Slots, uint64_t Seed) const {
-    return Workload::random(Slots, /*JobsPerSlot=*/512,
-                            static_cast<uint32_t>(Programs.size()), Seed);
-  }
-
-  MachineConfig MachineCfg;
-  SimConfig Sim;
-  std::vector<Program> Programs;
-  std::vector<double> Isolated;
-  /// Prepared once: every compare() replays the same baseline images.
-  PreparedSuite BaselineSuite;
-};
-
-/// Prints the standard header line for an experiment binary.
-inline void printHeader(const char *Experiment, const char *PaperRef) {
-  std::printf("== %s ==\n(reproduces %s; PBT_SCALE=%.2f scales the "
-              "simulated horizon)\n\n",
-              Experiment, PaperRef, envScale());
+/// The Loop[45] reference technique with \p Delta.
+inline TechniqueSpec loop45(double Delta = 0.2) {
+  TransitionConfig C;
+  C.Strat = Strategy::Loop;
+  C.MinSize = 45;
+  return TechniqueSpec::tuned(C, defaultTuner(Delta));
 }
 
 } // namespace bench

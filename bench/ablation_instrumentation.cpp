@@ -15,15 +15,15 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Sec. III: tuned vs ATOM-style instrumentation",
-              "CGO'11 Sec. III");
+  ExperimentHarness H("ablation_instrumentation",
+                      "Sec. III: tuned vs ATOM-style instrumentation",
+                      "CGO'11 Sec. III");
 
-  MachineConfig MC = MachineConfig::quadAsymmetric();
-  std::vector<Program> Programs = buildSuite();
   // Isolate pure instrumentation cost: the paper's ATOM comparison
   // measures the inserted analysis code, not affinity-API calls.
   SimConfig Sim;
   Sim.AffinityApiCycles = 0;
+  Lab &L = H.customLab(buildSuite(), MachineConfig::quadAsymmetric(), Sim);
 
   // Naive marking (every differently-typed edge, no size filter)
   // maximizes mark executions, as in the paper's ATOM comparison.
@@ -32,35 +32,42 @@ int main() {
   Naive.Naive = true;
   Naive.MinSize = 0;
 
+  auto TechWith = [&](MarkCostModel Cost) {
+    TechniqueSpec Tech = TechniqueSpec::tuned(Naive, defaultTuner());
+    Tech.Tuner.SwitchToAllCores = true;
+    Tech.Cost = Cost;
+    return Tech;
+  };
+  // Overhead measured from the per-process instrumentation-cycle
+  // accounting (exact, noise-free): cycles spent inside marks over
+  // cycles spent on program work.
+  auto OverheadOf = [](const CompletedJob &Job) {
+    double Work = Job.Stats.CyclesConsumed - Job.Stats.OverheadCycles;
+    return 100.0 * Job.Stats.OverheadCycles / Work;
+  };
+  // Every second benchmark, as in the paper's sampled comparison.
+  std::vector<uint32_t> Benches;
+  for (uint32_t Bench = 0; Bench < L.programs().size(); Bench += 2)
+    Benches.push_back(Bench);
+  std::vector<CompletedJob> TunedJobs =
+      L.isolatedJobs(TechWith(MarkCostModel::tuned()), Benches);
+  std::vector<CompletedJob> AtomJobs =
+      L.isolatedJobs(TechWith(MarkCostModel::atomStyle()), Benches);
+
   Table T({"benchmark", "tuned ovh %", "atom ovh %", "ratio"});
   std::vector<double> Ratios;
-  for (uint32_t Bench = 0; Bench < Programs.size(); Bench += 2) {
-    std::vector<Program> One{Programs[Bench]};
-
-    // Overhead measured from the per-process instrumentation-cycle
-    // accounting (exact, noise-free): cycles spent inside marks over
-    // cycles spent on program work.
-    auto OverheadWith = [&](MarkCostModel Cost) {
-      TechniqueSpec Tech = TechniqueSpec::tuned(Naive, defaultTuner());
-      Tech.Tuner.SwitchToAllCores = true;
-      Tech.Cost = Cost;
-      PreparedSuite Suite = prepareSuite(One, MC, Tech);
-      CompletedJob Job = runIsolated(Suite, 0, MC, Sim);
-      double Work = Job.Stats.CyclesConsumed - Job.Stats.OverheadCycles;
-      return 100.0 * Job.Stats.OverheadCycles / Work;
-    };
-
-    double Tuned = OverheadWith(MarkCostModel::tuned());
-    double Atom = OverheadWith(MarkCostModel::atomStyle());
+  for (size_t I = 0; I < Benches.size(); ++I) {
+    double Tuned = OverheadOf(TunedJobs[I]);
+    double Atom = OverheadOf(AtomJobs[I]);
     double Ratio = Tuned > 0 ? Atom / Tuned : 0;
     if (Ratio > 0)
       Ratios.push_back(Ratio);
-    T.addRow({Programs[Bench].Name, Table::fmt(Tuned, 3),
+    T.addRow({L.programs()[Benches[I]].Name, Table::fmt(Tuned, 3),
               Table::fmt(Atom, 3), Table::fmt(Ratio, 1)});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\nmean overhead ratio (ATOM / tuned): %.1fx "
-              "(paper: ~10x faster with the tuned strategy)\n",
-              mean(Ratios));
-  return 0;
+  H.table(T);
+  H.json()["mean_overhead_ratio"] = mean(Ratios);
+  H.note("mean overhead ratio (ATOM / tuned): " + Table::fmt(mean(Ratios), 1) +
+         "x (paper: ~10x faster with the tuned strategy)");
+  return H.finish();
 }

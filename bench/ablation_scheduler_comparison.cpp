@@ -19,54 +19,40 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Related-work ablation: assignment granularity",
-              "CGO'11 Sec. V discussion");
+  ExperimentHarness H("ablation_scheduler_comparison",
+                      "Related-work ablation: assignment granularity",
+                      "CGO'11 Sec. V discussion");
 
-  Lab L;
-  double Horizon = 400 * envScale();
-  uint32_t Slots = 18;
-  uint64_t Seed = 55;
+  SweepGrid G;
+  G.Techniques = {TechniqueSpec::hassStatic(), loop45(0.15)};
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/400 * H.scale(), /*Seed=*/55}};
+  SweepResult R = H.sweep(H.lab(), G);
 
-  TransitionConfig Loop45;
-  Loop45.Strat = Strategy::Loop;
-  Loop45.MinSize = 45;
-
-  std::vector<TechniqueSpec> Techniques = {
-      TechniqueSpec::baseline(),
-      TechniqueSpec::hassStatic(),
-      TechniqueSpec::tuned(Loop45, defaultTuner(0.15)),
-  };
-
-  RunResult Base;
-  FairnessMetrics BaseFair;
   Table T({"technique", "throughput %", "avg time %", "max-stretch %",
            "switches"});
-  for (size_t Index = 0; Index < Techniques.size(); ++Index) {
-    const TechniqueSpec &Tech = Techniques[Index];
-    RunResult R = L.run(Tech, Slots, Horizon, Seed);
-    FairnessMetrics F = computeFairness(R.Completed);
-    if (Index == 0) {
-      Base = R;
-      BaseFair = F;
-    }
-    T.addRow({Tech.label(),
-              Table::fmt(percentIncrease(
-                             static_cast<double>(Base.InstructionsRetired),
-                             static_cast<double>(R.InstructionsRetired)),
-                         2),
-              Table::fmt(percentDecrease(BaseFair.AvgProcessTime,
-                                         F.AvgProcessTime),
-                         2),
-              Table::fmt(percentDecrease(BaseFair.MaxStretch, F.MaxStretch),
-                         2),
-              Table::fmtInt(static_cast<long long>(R.TotalSwitches))});
-  }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\nexpected shape: phase-level (positional) assignment "
-              "beats whole-program static assignment on workloads whose "
-              "programs change behaviour mid-run.\n(our HASS-like "
-              "comparator pins only clearly dominant programs and lacks "
-              "HASS's load balancing, so its absolute numbers are "
-              "pessimistic; the comparison is about granularity)\n");
-  return 0;
+  // The baseline compares against itself: the all-zero reference row.
+  const RunResult &Base = R.Baselines[0];
+  const FairnessMetrics &BaseFair = R.BaselineFair[0];
+  T.addRow({TechniqueSpec::baseline().label(), Table::fmt(0.0, 2),
+            Table::fmt(0.0, 2), Table::fmt(0.0, 2),
+            Table::fmtInt(static_cast<long long>(Base.TotalSwitches))});
+  for (const SweepCell &Cell : R.Cells)
+    T.addRow(
+        {G.Techniques[Cell.Technique].label(),
+         Table::fmt(R.throughputImprovement(Cell), 2),
+         Table::fmt(percentDecrease(BaseFair.AvgProcessTime,
+                                    Cell.Fair.AvgProcessTime),
+                    2),
+         Table::fmt(percentDecrease(BaseFair.MaxStretch,
+                                    Cell.Fair.MaxStretch),
+                    2),
+         Table::fmtInt(static_cast<long long>(Cell.Run.TotalSwitches))});
+  H.table(T);
+  H.note("expected shape: phase-level (positional) assignment "
+         "beats whole-program static assignment on workloads whose "
+         "programs change behaviour mid-run.\n(our HASS-like "
+         "comparator pins only clearly dominant programs and lacks "
+         "HASS's load balancing, so its absolute numbers are "
+         "pessimistic; the comparison is about granularity)");
+  return H.finish();
 }

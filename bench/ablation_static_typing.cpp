@@ -17,49 +17,42 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Sec. II-A3: static typing accuracy vs oracle",
-              "CGO'11 Sec. II-A3");
+  ExperimentHarness H("ablation_static_typing",
+                      "Sec. II-A3: static typing accuracy vs oracle",
+                      "CGO'11 Sec. II-A3");
 
-  MachineConfig MC = MachineConfig::quadAsymmetric();
-  std::vector<Program> Programs = buildSuite();
-
+  Lab &L = H.lab();
   Table T({"benchmark", "blocks", "disagreement %"});
   std::vector<double> Disagreements;
-  for (const Program &Prog : Programs) {
-    CostModel Cost(Prog, MC);
+  for (const Program &Prog : L.programs()) {
+    CostModel Cost(Prog, L.machine());
     ProgramTyping Oracle = computeOracleTyping(Prog, Cost);
     ProgramTyping Static = computeStaticTyping(Prog, TypingConfig());
     double D = 100.0 * Static.disagreement(Oracle);
     Disagreements.push_back(D);
-    T.addRow({Prog.Name, Table::fmtInt(static_cast<long long>(
-                             Prog.blockCount())),
+    T.addRow({Prog.Name,
+              Table::fmtInt(static_cast<long long>(Prog.blockCount())),
               Table::fmt(D, 2)});
   }
-  std::fputs(T.render().c_str(), stdout);
+  H.table(T);
+  H.json()["mean_disagreement_pct"] = mean(Disagreements);
   std::printf("\nmean disagreement: %.2f%% (paper: ~15%% of loops "
-              "misclassified)\n\n", mean(Disagreements));
+              "misclassified)\n\n",
+              mean(Disagreements));
 
   // End-to-end: oracle typing vs static typing under Loop[45].
-  Lab L;
-  double Horizon = 300 * envScale();
-  TransitionConfig Loop45;
-  Loop45.Strat = Strategy::Loop;
-  Loop45.MinSize = 45;
-
-  RunResult Base = L.run(TechniqueSpec::baseline(), 18, Horizon, 9);
-  TechniqueSpec OracleTech = TechniqueSpec::tuned(Loop45, defaultTuner());
-  RunResult WithOracle = L.run(OracleTech, 18, Horizon, 9);
+  TechniqueSpec OracleTech = loop45();
   TechniqueSpec StaticTech = OracleTech;
   StaticTech.UseStaticTyping = true;
-  RunResult WithStatic = L.run(StaticTech, 18, Horizon, 9);
+
+  SweepGrid G;
+  G.Techniques = {OracleTech, StaticTech};
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/300 * H.scale(), /*Seed=*/9}};
+  SweepResult R = H.sweep(L, G);
 
   std::printf("end-to-end throughput improvement vs baseline:\n"
               "  oracle typing: %+.2f%%\n  static typing: %+.2f%%\n",
-              percentIncrease(
-                  static_cast<double>(Base.InstructionsRetired),
-                  static_cast<double>(WithOracle.InstructionsRetired)),
-              percentIncrease(
-                  static_cast<double>(Base.InstructionsRetired),
-                  static_cast<double>(WithStatic.InstructionsRetired)));
-  return 0;
+              R.throughputImprovement(R.Cells[0]),
+              R.throughputImprovement(R.Cells[1]));
+  return H.finish();
 }

@@ -13,44 +13,44 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Sec. VII: other AMP shapes (3-core, 8-core)",
-              "CGO'11 Sec. VII");
-
-  TransitionConfig Loop45;
-  Loop45.Strat = Strategy::Loop;
-  Loop45.MinSize = 45;
-  TechniqueSpec Tech = TechniqueSpec::tuned(Loop45, defaultTuner(0.15));
+  ExperimentHarness H("ext_three_core",
+                      "Sec. VII: other AMP shapes (3-core, 8-core)",
+                      "CGO'11 Sec. VII");
 
   struct Shape {
     const char *Name;
     MachineConfig Config;
     uint32_t Slots;
   };
-  std::vector<Shape> Shapes = {
+  const std::vector<Shape> Shapes = {
       {"quad 2f+2s", MachineConfig::quadAsymmetric(), 18},
       {"three 2f+1s", MachineConfig::threeCore(), 14},
       {"octo 4f+4s", MachineConfig::octoAsymmetric(), 36},
   };
 
-  double Horizon = 400 * envScale();
+  double Horizon = 400 * H.scale();
   Table T({"machine", "throughput %", "avg time %", "max-stretch %",
            "switches"});
   for (const Shape &S : Shapes) {
-    Lab L(S.Config);
-    Comparison C = L.compare(Tech, S.Slots, Horizon, 21);
+    // One single-cell grid per shape: the slot count tracks the machine
+    // size, so the machine axis cannot be a plain cross product here.
+    SweepGrid G;
+    G.Techniques = {loop45(0.15)};
+    G.Workloads = {{S.Slots, Horizon, /*Seed=*/21}};
+    SweepResult R = H.sweep(H.lab(S.Config), G);
+    Comparison C = R.comparison(R.Cells[0]);
     T.addRow({S.Name, Table::fmt(C.throughputImprovement(), 2),
               Table::fmt(C.avgTimeDecrease(), 2),
               Table::fmt(C.maxStretchDecrease(), 2),
-              Table::fmtInt(
-                  static_cast<long long>(C.Tuned.TotalSwitches))});
+              Table::fmtInt(static_cast<long long>(C.Tuned.TotalSwitches))});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference: the 3-core machine behaves like the "
-              "quad (32%% vs 36%% avg speedup there).\nnote: our suite's "
-              "memory-phase demand is calibrated to the quad's 40%% "
-              "slow-core capacity share; the 3-core machine has only a "
-              "25%% share, so pinned memory phases queue on its single "
-              "slow core - rebalance the workload mix to reproduce the "
-              "paper's parity there\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference: the 3-core machine behaves like the "
+         "quad (32% vs 36% avg speedup there).\nnote: our suite's "
+         "memory-phase demand is calibrated to the quad's 40% "
+         "slow-core capacity share; the 3-core machine has only a "
+         "25% share, so pinned memory phases queue on its single "
+         "slow core - rebalance the workload mix to reproduce the "
+         "paper's parity there");
+  return H.finish();
 }

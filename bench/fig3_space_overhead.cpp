@@ -10,41 +10,32 @@
 
 #include "BenchCommon.h"
 
-#include "core/Instrument.h"
-#include "sim/CostModel.h"
-
-#include <cstdio>
-
 using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Fig. 3: space overhead box plots", "CGO'11 Fig. 3");
+  ExperimentHarness H("fig3_space_overhead",
+                      "Fig. 3: space overhead box plots", "CGO'11 Fig. 3");
 
-  MachineConfig MC = MachineConfig::quadAsymmetric();
-  std::vector<Program> Programs = buildSuite();
-
+  Lab &L = H.lab();
   Table T({"variant", "min%", "q1%", "median%", "q3%", "max%", "mean%",
            "marks/bench"});
-  for (const TransitionConfig &Variant : paperVariants()) {
+  for (const TechniqueSpec &Tech : paperTechniques()) {
+    PreparedSuite Suite = L.suite(Tech);
     std::vector<double> Overheads;
     double TotalMarks = 0;
-    for (const Program &Prog : Programs) {
-      CostModel Cost(Prog, MC);
-      ProgramTyping Typing = computeOracleTyping(Prog, Cost);
-      MarkingResult Marks = computeTransitions(Prog, Typing, Variant);
-      TotalMarks += static_cast<double>(Marks.Marks.size());
-      InstrumentedProgram Image(Prog, std::move(Marks));
-      Overheads.push_back(Image.spaceOverheadPercent());
+    for (const auto &Image : Suite.Images) {
+      TotalMarks += static_cast<double>(Image->marks().size());
+      Overheads.push_back(Image->spaceOverheadPercent());
     }
     BoxSummary Box = summarize(Overheads);
-    T.addRow({Variant.label(), Table::fmt(Box.Min), Table::fmt(Box.Q1),
-              Table::fmt(Box.Median), Table::fmt(Box.Q3),
-              Table::fmt(Box.Max), Table::fmt(Box.Mean),
-              Table::fmt(TotalMarks / Programs.size(), 1)});
+    T.addRow({Tech.Transition.label(), Table::fmt(Box.Min),
+              Table::fmt(Box.Q1), Table::fmt(Box.Median),
+              Table::fmt(Box.Q3), Table::fmt(Box.Max), Table::fmt(Box.Mean),
+              Table::fmt(TotalMarks / L.programs().size(), 1)});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference points: Loop[45] < 4%% space overhead, "
-              "~20.24 marks/benchmark, <= 78 bytes/mark\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference points: Loop[45] < 4% space overhead, "
+         "~20.24 marks/benchmark, <= 78 bytes/mark");
+  return H.finish();
 }

@@ -14,31 +14,34 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Fig. 4: time overhead, workload size 84", "CGO'11 Fig. 4");
+  ExperimentHarness H("fig4_time_overhead",
+                      "Fig. 4: time overhead, workload size 84",
+                      "CGO'11 Fig. 4");
 
-  Lab L;
-  double Horizon = 60 * envScale();
-  uint32_t Slots = 84;
-  uint64_t Seed = 84;
-
-  RunResult Base = L.run(TechniqueSpec::baseline(), Slots, Horizon, Seed);
+  SweepGrid G;
+  for (TechniqueSpec Tech : paperTechniques()) {
+    Tech.Tuner.SwitchToAllCores = true;
+    G.Techniques.push_back(Tech);
+  }
+  G.Workloads = {{/*Slots=*/84, /*Horizon=*/60 * H.scale(), /*Seed=*/84}};
+  SweepResult R = H.sweep(H.lab(), G);
 
   Table T({"variant", "overhead %", "marks fired", "overhead cycles"});
-  for (const TransitionConfig &Variant : paperVariants()) {
-    TechniqueSpec Tech = TechniqueSpec::tuned(Variant, defaultTuner());
-    Tech.Tuner.SwitchToAllCores = true;
-    RunResult R = L.run(Tech, Slots, Horizon, Seed);
+  for (const SweepCell &Cell : R.Cells) {
+    const RunResult &Base = R.base(Cell);
     double OverheadPct =
         100.0 *
         (static_cast<double>(Base.InstructionsRetired) -
-         static_cast<double>(R.InstructionsRetired)) /
+         static_cast<double>(Cell.Run.InstructionsRetired)) /
         static_cast<double>(Base.InstructionsRetired);
-    T.addRow({Variant.label(), Table::fmt(OverheadPct, 3),
-              Table::fmtInt(static_cast<long long>(R.TotalMarks)),
-              Table::fmtInt(static_cast<long long>(R.TotalOverheadCycles))});
+    T.addRow({G.Techniques[Cell.Technique].Transition.label(),
+              Table::fmt(OverheadPct, 3),
+              Table::fmtInt(static_cast<long long>(Cell.Run.TotalMarks)),
+              Table::fmtInt(
+                  static_cast<long long>(Cell.Run.TotalOverheadCycles))});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference points: all variants < 2%% overhead, "
-              "minimum 0.14%%; loop-based variants lowest\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference points: all variants < 2% overhead, "
+         "minimum 0.14%; loop-based variants lowest");
+  return H.finish();
 }

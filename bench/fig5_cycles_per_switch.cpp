@@ -14,37 +14,33 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Fig. 5: average cycles per core switch (log scale)",
-              "CGO'11 Fig. 5");
+  ExperimentHarness H("fig5_cycles_per_switch",
+                      "Fig. 5: average cycles per core switch (log scale)",
+                      "CGO'11 Fig. 5");
 
-  MachineConfig MC = MachineConfig::quadAsymmetric();
-  std::vector<Program> Programs = buildSuite();
-  TransitionConfig Loop45;
-  Loop45.Strat = Strategy::Loop;
-  Loop45.MinSize = 45;
-  PreparedSuite Suite =
-      prepareSuite(Programs, MC, TechniqueSpec::tuned(Loop45,
-                                                      defaultTuner(0.2)));
-  SimConfig Sim;
-  uint32_t SwitchCost = Suite.Images[0]->cost().SwitchCycles;
+  Lab &L = H.lab();
+  TechniqueSpec Tech = loop45(0.2);
+  uint32_t SwitchCost = L.suite(Tech).Images[0]->cost().SwitchCycles;
+  std::vector<CompletedJob> Jobs = L.isolatedJobs(Tech);
 
   Table T({"benchmark", "cycles/switch", "log10", "x switch cost"});
-  for (uint32_t Bench = 0; Bench < Programs.size(); ++Bench) {
-    CompletedJob Job = runIsolated(Suite, Bench, MC, Sim);
+  for (size_t Bench = 0; Bench < Jobs.size(); ++Bench) {
+    const CompletedJob &Job = Jobs[Bench];
     if (Job.Stats.CoreSwitches == 0) {
-      T.addRow({Programs[Bench].Name, "no switches", "-", "-"});
+      T.addRow({L.programs()[Bench].Name, "no switches", "-", "-"});
       continue;
     }
     double PerSwitch = Job.Stats.CyclesConsumed /
                        static_cast<double>(Job.Stats.CoreSwitches);
-    T.addRow({Programs[Bench].Name,
+    T.addRow({L.programs()[Bench].Name,
               Table::fmtInt(static_cast<long long>(PerSwitch)),
               Table::fmt(std::log10(PerSwitch), 2),
               Table::fmt(PerSwitch / SwitchCost, 1)});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\nswitch cost: %u cycles. paper reference: most benchmarks "
-              "amortize each switch over >= 10^4 x its cost\n",
-              SwitchCost);
-  return 0;
+  H.table(T);
+  H.json()["switch_cost_cycles"] = SwitchCost;
+  H.note("switch cost: " + std::to_string(SwitchCost) +
+         " cycles. paper reference: most benchmarks amortize each "
+         "switch over >= 10^4 x its cost");
+  return H.finish();
 }

@@ -4,7 +4,8 @@
 // threshold delta (basic-block strategy, min size 15, lookahead 0).
 // Paper's shape: extreme thresholds degrade throughput because the whole
 // workload migrates away from one core type; an interior optimum gives a
-// balanced assignment.
+// balanced assignment. The eight deltas share one preparation: only the
+// tuner varies, so the suite cache prepares the BB[15,0] images once.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,33 +15,29 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Fig. 6: throughput vs IPC threshold (BB[15,0])",
-              "CGO'11 Fig. 6");
-
-  Lab L;
-  double Horizon = 300 * envScale();
-  uint32_t Slots = 18;
-  uint64_t Seed = 6;
+  ExperimentHarness H("fig6_ipc_threshold",
+                      "Fig. 6: throughput vs IPC threshold (BB[15,0])",
+                      "CGO'11 Fig. 6");
 
   TransitionConfig BB15;
   BB15.Strat = Strategy::BasicBlock;
   BB15.MinSize = 15;
 
-  RunResult Base = L.run(TechniqueSpec::baseline(), Slots, Horizon, Seed);
+  const std::vector<double> Deltas = {0.005, 0.02, 0.05, 0.1,
+                                      0.15,  0.2,  0.3,  0.5};
+  SweepGrid G;
+  for (double Delta : Deltas)
+    G.Techniques.push_back(TechniqueSpec::tuned(BB15, defaultTuner(Delta)));
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/300 * H.scale(), /*Seed=*/6}};
+  SweepResult R = H.sweep(H.lab(), G);
 
   Table T({"delta", "throughput improvement %", "switches"});
-  for (double Delta : {0.005, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5}) {
-    RunResult R = L.run(TechniqueSpec::tuned(BB15, defaultTuner(Delta)),
-                        Slots, Horizon, Seed);
-    T.addRow({Table::fmt(Delta, 3),
-              Table::fmt(percentIncrease(
-                             static_cast<double>(Base.InstructionsRetired),
-                             static_cast<double>(R.InstructionsRetired)),
-                         2),
-              Table::fmtInt(static_cast<long long>(R.TotalSwitches))});
-  }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference shape: negative at the extremes (whole "
-              "workload crowds one core type), positive interior optimum\n");
-  return 0;
+  for (const SweepCell &Cell : R.Cells)
+    T.addRow({Table::fmt(Deltas[Cell.Technique], 3),
+              Table::fmt(R.throughputImprovement(Cell), 2),
+              Table::fmtInt(static_cast<long long>(Cell.Run.TotalSwitches))});
+  H.table(T);
+  H.note("paper reference shape: negative at the extremes (whole "
+         "workload crowds one core type), positive interior optimum");
+  return H.finish();
 }

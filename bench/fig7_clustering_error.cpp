@@ -13,42 +13,47 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Fig. 7: throughput vs injected clustering error (BB[15,0])",
-              "CGO'11 Fig. 7");
-
-  Lab L;
-  double Horizon = 300 * envScale();
-  uint32_t Slots = 18;
-  const std::vector<uint64_t> Seeds = {7, 21, 99};
+  ExperimentHarness H(
+      "fig7_clustering_error",
+      "Fig. 7: throughput vs injected clustering error (BB[15,0])",
+      "CGO'11 Fig. 7");
 
   TransitionConfig BB15;
   BB15.Strat = Strategy::BasicBlock;
   BB15.MinSize = 15;
 
-  // Single-seed runs are noisy; average over three workload seeds.
-  double BaseInsts = 0;
-  for (uint64_t Seed : Seeds)
-    BaseInsts += static_cast<double>(
-        L.run(TechniqueSpec::baseline(), Slots, Horizon, Seed)
-            .InstructionsRetired);
-
-  Table T({"error %", "throughput improvement %", "switches"});
-  for (double Error : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+  const std::vector<double> Errors = {0.0, 0.05, 0.10, 0.20, 0.30};
+  SweepGrid G;
+  for (double Error : Errors) {
     TechniqueSpec Tech = TechniqueSpec::tuned(BB15, defaultTuner());
     Tech.TypingError = Error;
+    G.Techniques.push_back(Tech);
+  }
+  // Single-seed runs are noisy; average over three workload seeds.
+  double Horizon = 300 * H.scale();
+  G.Workloads = {{18, Horizon, 7}, {18, Horizon, 21}, {18, Horizon, 99}};
+  SweepResult R = H.sweep(H.lab(), G);
+
+  double BaseInsts = 0;
+  for (const RunResult &Base : R.Baselines)
+    BaseInsts += static_cast<double>(Base.InstructionsRetired);
+
+  Table T({"error %", "throughput improvement %", "switches"});
+  for (size_t E = 0; E < Errors.size(); ++E) {
     double Insts = 0;
     uint64_t Switches = 0;
-    for (uint64_t Seed : Seeds) {
-      RunResult R = L.run(Tech, Slots, Horizon, Seed);
-      Insts += static_cast<double>(R.InstructionsRetired);
-      Switches += R.TotalSwitches;
+    for (const SweepCell &Cell : R.Cells) {
+      if (Cell.Technique != E)
+        continue;
+      Insts += static_cast<double>(Cell.Run.InstructionsRetired);
+      Switches += Cell.Run.TotalSwitches;
     }
-    T.addRow({Table::fmt(100 * Error, 0),
+    T.addRow({Table::fmt(100 * Errors[E], 0),
               Table::fmt(percentIncrease(BaseInsts, Insts), 2),
               Table::fmtInt(static_cast<long long>(Switches / 3))});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference shape: 10%% error ~ no loss; 20%% still a "
-              "clear gain; 30%% little improvement left\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference shape: 10% error ~ no loss; 20% still a "
+         "clear gain; 30% little improvement left");
+  return H.finish();
 }

@@ -13,24 +13,25 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Fig. 8: speedup vs fairness scatter", "CGO'11 Fig. 8");
+  ExperimentHarness H("fig8_speedup_vs_fairness",
+                      "Fig. 8: speedup vs fairness scatter",
+                      "CGO'11 Fig. 8");
 
-  Lab L;
-  double Horizon = 400 * envScale();
-  uint32_t Slots = 18;
-  uint64_t Seed = 21;
+  SweepGrid G;
+  G.Techniques = paperTechniques(0.15);
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/400 * H.scale(), /*Seed=*/21}};
+  SweepResult R = H.sweep(H.lab(), G);
 
   Table T({"technique", "speedup: avg time %", "fairness: max-stretch %"});
-  for (const TransitionConfig &Variant : paperVariants()) {
-    Comparison C = L.compare(TechniqueSpec::tuned(Variant,
-                                                  defaultTuner(0.15)),
-                             Slots, Horizon, Seed);
-    T.addRow({Variant.label(), Table::fmt(C.avgTimeDecrease(), 2),
+  for (const SweepCell &Cell : R.Cells) {
+    Comparison C = R.comparison(Cell);
+    T.addRow({G.Techniques[Cell.Technique].label(),
+              Table::fmt(C.avgTimeDecrease(), 2),
               Table::fmt(C.maxStretchDecrease(), 2)});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference shape: Int/Loop variants in the "
-              "upper-right (both positive); BB variants scatter, several "
-              "with negative fairness\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference shape: Int/Loop variants in the "
+         "upper-right (both positive); BB variants scatter, several "
+         "with negative fairness");
+  return H.finish();
 }

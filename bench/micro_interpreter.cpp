@@ -9,14 +9,13 @@
 //
 // Emits BENCH_interpreter.json alongside the human-readable table so the
 // interpreter's performance trajectory is tracked across PRs.
-// PBT_SCALE scales the repetition count; PBT_INTERP_REPS pins it.
+// PBT_BENCH_SCALE scales the repetition count; PBT_INTERP_REPS pins it.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include <chrono>
-#include <cinttypes>
 #include <memory>
 
 using namespace pbt;
@@ -61,21 +60,21 @@ EngineResult measure(const PreparedSuite &Suite, uint32_t Bench,
   return Best;
 }
 
-void emitJson(std::FILE *Out, const char *Key, const EngineResult &R,
-              bool Last) {
-  std::fprintf(Out,
-               "    \"%s\": {\"wall_s\": %.6f, \"blocks\": %" PRIu64
-               ", \"cycles\": %.0f, \"blocks_per_sec\": %.0f, "
-               "\"cycles_per_sec\": %.0f}%s\n",
-               Key, R.WallSec, R.Blocks, R.Cycles, R.blocksPerSec(),
-               R.cyclesPerSec(), Last ? "" : ",");
+Json engineJson(const EngineResult &R) {
+  Json J = Json::object();
+  J["wall_s"] = R.WallSec;
+  J["blocks"] = R.Blocks;
+  J["cycles"] = R.Cycles;
+  J["blocks_per_sec"] = R.blocksPerSec();
+  J["cycles_per_sec"] = R.cyclesPerSec();
+  return J;
 }
 
 } // namespace
 
 int main() {
-  printHeader("Micro: execution-engine throughput",
-              "interpreter perf tracking (no paper figure)");
+  ExperimentHarness H("interpreter", "Micro: execution-engine throughput",
+                      "interpreter perf tracking (no paper figure)");
 
   const char *WorkloadName = "410.bwaves";
   Program Prog;
@@ -85,18 +84,14 @@ int main() {
   std::vector<Program> Programs;
   Programs.push_back(std::move(Prog));
 
-  MachineConfig MC = MachineConfig::quadAsymmetric();
-  TransitionConfig Loop45;
-  Loop45.Strat = Strategy::Loop;
-  Loop45.MinSize = 45;
-  PreparedSuite Plain =
-      prepareSuite(Programs, MC, TechniqueSpec::baseline());
-  PreparedSuite Marked = prepareSuite(
-      Programs, MC, TechniqueSpec::tuned(Loop45, defaultTuner()));
+  Lab &L = H.customLab(std::move(Programs),
+                       MachineConfig::quadAsymmetric());
+  PreparedSuite Plain = L.suite(TechniqueSpec::baseline());
+  PreparedSuite Marked = L.suite(loop45());
 
   int Reps = static_cast<int>(
       envInt("PBT_INTERP_REPS",
-             std::max<int64_t>(1, static_cast<int64_t>(3 * envScale()))));
+             std::max<int64_t>(1, static_cast<int64_t>(3 * H.scale()))));
 
   SimConfig Reference;
   Reference.Engine = ExecEngine::Reference;
@@ -121,7 +116,7 @@ int main() {
       {"instrumented", "flat_fused", &Marked, &Fused, {}},
   };
   for (Row &Entry : Rows)
-    Entry.R = measure(*Entry.Suite, 0, MC, *Entry.Sim, Reps);
+    Entry.R = measure(*Entry.Suite, 0, L.machine(), *Entry.Sim, Reps);
 
   Table T({"image", "engine", "wall s", "Mblocks/s", "Mcycles/s",
            "vs reference"});
@@ -135,7 +130,7 @@ int main() {
               Ref > 0 ? Table::fmt(Entry.R.blocksPerSec() / Ref, 2) + "x"
                       : "-"});
   }
-  std::fputs(T.render().c_str(), stdout);
+  H.table(T);
 
   const FlatImage &FI = *Plain.Flats[0];
   std::printf("\nflat image: %u blocks, %u chain records (%.0f%%), "
@@ -151,27 +146,12 @@ int main() {
               "instrumented (acceptance: >= 2x plain)\n",
               SpeedPlain, SpeedMarked);
 
-  std::FILE *Out = std::fopen("BENCH_interpreter.json", "w");
-  if (!Out) {
-    std::perror("BENCH_interpreter.json");
-    return 1;
-  }
-  std::fprintf(Out, "{\n  \"bench\": \"micro_interpreter\",\n");
-  std::fprintf(Out, "  \"workload\": \"%s\",\n", WorkloadName);
-  std::fprintf(Out, "  \"repetitions\": %d,\n", Reps);
-  std::fprintf(Out, "  \"plain\": {\n");
-  emitJson(Out, "reference", Rows[0].R, false);
-  emitJson(Out, "flat", Rows[1].R, false);
-  emitJson(Out, "flat_fused", Rows[2].R, true);
-  std::fprintf(Out, "  },\n  \"instrumented\": {\n");
-  emitJson(Out, "reference", Rows[3].R, false);
-  emitJson(Out, "flat", Rows[4].R, false);
-  emitJson(Out, "flat_fused", Rows[5].R, true);
-  std::fprintf(Out, "  },\n");
-  std::fprintf(Out, "  \"speedup_flat_plain\": %.3f,\n", SpeedPlain);
-  std::fprintf(Out, "  \"speedup_flat_instrumented\": %.3f\n", SpeedMarked);
-  std::fprintf(Out, "}\n");
-  std::fclose(Out);
-  std::printf("wrote BENCH_interpreter.json\n");
-  return 0;
+  Json &Extra = H.json();
+  Extra["workload"] = WorkloadName;
+  Extra["repetitions"] = Reps;
+  for (const Row &Entry : Rows)
+    Extra[Entry.Image][Entry.Key] = engineJson(Entry.R);
+  Extra["speedup_flat_plain"] = SpeedPlain;
+  Extra["speedup_flat_instrumented"] = SpeedMarked;
+  return H.finish();
 }

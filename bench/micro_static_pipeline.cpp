@@ -1,8 +1,13 @@
 //===- bench/micro_static_pipeline.cpp - static pass microbenchmarks ------===//
 //
-// google-benchmark microbenchmarks of the static pipeline: block typing,
-// interval partition, natural loops, transition analysis per strategy.
-// These bound the "compile-time" cost of phase-based tuning.
+// Microbenchmarks of the static pipeline: block typing, interval
+// partition, natural loops, transition analysis per strategy. These
+// bound the "compile-time" cost of phase-based tuning.
+//
+// Built against google-benchmark when available (PBT_HAVE_GOOGLE_BENCHMARK
+// is defined by CMake); otherwise the same kernels degrade to a plain
+// timed main() with auto-scaled repetition counts, so the target always
+// exists.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,11 +19,9 @@
 #include "sim/CostModel.h"
 #include "workload/Benchmarks.h"
 
-#include <benchmark/benchmark.h>
+namespace {
 
 using namespace pbt;
-
-namespace {
 
 const Program &bigProgram() {
   static Program Prog = buildBenchmark(specSuite()[14]); // 410.bwaves.
@@ -31,60 +34,98 @@ const ProgramTyping &bigTyping() {
   return Typing;
 }
 
+// The measured kernels, shared by both harnesses. Each returns a value
+// derived from its result so the work cannot be optimized away.
+
+size_t kernelStaticTyping() {
+  ProgramTyping Typing = computeStaticTyping(bigProgram(), TypingConfig());
+  return Typing.NumTypes;
+}
+
+size_t kernelOracleTyping(const CostModel &Cost) {
+  ProgramTyping Typing = computeOracleTyping(bigProgram(), Cost);
+  return Typing.NumTypes;
+}
+
+size_t kernelIntervalPartition() {
+  size_t Total = 0;
+  for (const Procedure &P : bigProgram().Procs)
+    Total += computeIntervals(P).Intervals.size();
+  return Total;
+}
+
+size_t kernelNaturalLoops() {
+  size_t Total = 0;
+  for (const Procedure &P : bigProgram().Procs)
+    Total += computeLoops(P).Loops.size();
+  return Total;
+}
+
+TransitionConfig transitionConfig(Strategy Strat) {
+  TransitionConfig Config;
+  Config.Strat = Strat;
+  Config.MinSize = Strat == Strategy::BasicBlock ? 15 : 45;
+  return Config;
+}
+
+size_t kernelTransitions(Strategy Strat) {
+  MarkingResult R = computeTransitions(bigProgram(), bigTyping(),
+                                       transitionConfig(Strat));
+  return R.Marks.size();
+}
+
+size_t kernelInstrument(const MarkingResult &Marks) {
+  MarkingResult Copy = Marks;
+  InstrumentedProgram Image(bigProgram(), std::move(Copy));
+  return static_cast<size_t>(Image.instrumentedByteSize());
+}
+
+size_t kernelCostModelBuild(const MachineConfig &MC) {
+  CostModel Cost(bigProgram(), MC);
+  return static_cast<size_t>(Cost.blockInsts(0, 0));
+}
+
 } // namespace
 
+#ifdef PBT_HAVE_GOOGLE_BENCHMARK
+
+//===----------------------------------------------------------------------===//
+// google-benchmark harness
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
 static void BM_StaticTyping(benchmark::State &State) {
-  const Program &Prog = bigProgram();
-  for (auto _ : State) {
-    ProgramTyping Typing = computeStaticTyping(Prog, TypingConfig());
-    benchmark::DoNotOptimize(Typing.NumTypes);
-  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernelStaticTyping());
   State.SetItemsProcessed(State.iterations() *
-                          static_cast<int64_t>(Prog.blockCount()));
+                          static_cast<int64_t>(bigProgram().blockCount()));
 }
 BENCHMARK(BM_StaticTyping);
 
 static void BM_OracleTyping(benchmark::State &State) {
-  const Program &Prog = bigProgram();
-  CostModel Cost(Prog, MachineConfig::quadAsymmetric());
-  for (auto _ : State) {
-    ProgramTyping Typing = computeOracleTyping(Prog, Cost);
-    benchmark::DoNotOptimize(Typing.NumTypes);
-  }
+  CostModel Cost(bigProgram(), MachineConfig::quadAsymmetric());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernelOracleTyping(Cost));
 }
 BENCHMARK(BM_OracleTyping);
 
 static void BM_IntervalPartition(benchmark::State &State) {
-  const Program &Prog = bigProgram();
   for (auto _ : State)
-    for (const Procedure &P : Prog.Procs) {
-      IntervalPartition Part = computeIntervals(P);
-      benchmark::DoNotOptimize(Part.Intervals.size());
-    }
+    benchmark::DoNotOptimize(kernelIntervalPartition());
 }
 BENCHMARK(BM_IntervalPartition);
 
 static void BM_NaturalLoops(benchmark::State &State) {
-  const Program &Prog = bigProgram();
   for (auto _ : State)
-    for (const Procedure &P : Prog.Procs) {
-      LoopInfo Info = computeLoops(P);
-      benchmark::DoNotOptimize(Info.Loops.size());
-    }
+    benchmark::DoNotOptimize(kernelNaturalLoops());
 }
 BENCHMARK(BM_NaturalLoops);
 
 static void BM_Transitions(benchmark::State &State) {
-  const Program &Prog = bigProgram();
-  const ProgramTyping &Typing = bigTyping();
   Strategy Strat = static_cast<Strategy>(State.range(0));
-  TransitionConfig Config;
-  Config.Strat = Strat;
-  Config.MinSize = Strat == Strategy::BasicBlock ? 15 : 45;
-  for (auto _ : State) {
-    MarkingResult R = computeTransitions(Prog, Typing, Config);
-    benchmark::DoNotOptimize(R.Marks.size());
-  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernelTransitions(Strat));
 }
 BENCHMARK(BM_Transitions)
     ->Arg(static_cast<int>(Strategy::BasicBlock))
@@ -92,28 +133,89 @@ BENCHMARK(BM_Transitions)
     ->Arg(static_cast<int>(Strategy::Loop));
 
 static void BM_Instrument(benchmark::State &State) {
-  const Program &Prog = bigProgram();
-  const ProgramTyping &Typing = bigTyping();
-  TransitionConfig Config;
-  Config.Strat = Strategy::Loop;
-  Config.MinSize = 45;
-  MarkingResult Marks = computeTransitions(Prog, Typing, Config);
-  for (auto _ : State) {
-    MarkingResult Copy = Marks;
-    InstrumentedProgram Image(Prog, std::move(Copy));
-    benchmark::DoNotOptimize(Image.instrumentedByteSize());
-  }
+  MarkingResult Marks = computeTransitions(bigProgram(), bigTyping(),
+                                           transitionConfig(Strategy::Loop));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernelInstrument(Marks));
 }
 BENCHMARK(BM_Instrument);
 
 static void BM_CostModelBuild(benchmark::State &State) {
-  const Program &Prog = bigProgram();
   MachineConfig MC = MachineConfig::quadAsymmetric();
-  for (auto _ : State) {
-    CostModel Cost(Prog, MC);
-    benchmark::DoNotOptimize(Cost.blockInsts(0, 0));
-  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernelCostModelBuild(MC));
 }
 BENCHMARK(BM_CostModelBuild);
 
 BENCHMARK_MAIN();
+
+#else // !PBT_HAVE_GOOGLE_BENCHMARK
+
+//===----------------------------------------------------------------------===//
+// Fallback harness: plain timed main()
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace {
+
+/// Times \p Body: repeats until >= 50 ms of accumulated wall time (at
+/// least 3 iterations) and reports the mean nanoseconds per iteration.
+double timeKernel(const std::function<size_t()> &Body) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up iteration (also defeats lazy statics).
+  volatile size_t Sink = Body();
+  (void)Sink;
+  double Elapsed = 0;
+  long Iterations = 0;
+  while (Elapsed < 0.05 || Iterations < 3) {
+    auto Start = Clock::now();
+    Sink = Body();
+    Elapsed += std::chrono::duration<double>(Clock::now() - Start).count();
+    ++Iterations;
+  }
+  return 1e9 * Elapsed / static_cast<double>(Iterations);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Micro: static pipeline (fallback timer; build with "
+              "google-benchmark for calibrated runs) ==\n\n");
+
+  CostModel Cost(bigProgram(), MachineConfig::quadAsymmetric());
+  MarkingResult LoopMarks = computeTransitions(
+      bigProgram(), bigTyping(), transitionConfig(Strategy::Loop));
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+
+  struct Entry {
+    const char *Name;
+    std::function<size_t()> Body;
+  };
+  const std::vector<Entry> Entries = {
+      {"StaticTyping", [] { return kernelStaticTyping(); }},
+      {"OracleTyping", [&] { return kernelOracleTyping(Cost); }},
+      {"IntervalPartition", [] { return kernelIntervalPartition(); }},
+      {"NaturalLoops", [] { return kernelNaturalLoops(); }},
+      {"Transitions/BB",
+       [] { return kernelTransitions(Strategy::BasicBlock); }},
+      {"Transitions/Int",
+       [] { return kernelTransitions(Strategy::Interval); }},
+      {"Transitions/Loop", [] { return kernelTransitions(Strategy::Loop); }},
+      {"Instrument", [&] { return kernelInstrument(LoopMarks); }},
+      {"CostModelBuild", [&] { return kernelCostModelBuild(MC); }},
+  };
+
+  Table T({"benchmark", "ns/op"});
+  for (const Entry &E : Entries)
+    T.addRow({E.Name, Table::fmtInt(static_cast<long long>(
+                          timeKernel(E.Body)))});
+  std::fputs(T.render().c_str(), stdout);
+  return 0;
+}
+
+#endif // PBT_HAVE_GOOGLE_BENCHMARK

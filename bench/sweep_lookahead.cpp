@@ -12,33 +12,36 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Sec. IV-C2: lookahead depth sweep (BB[15,*])",
-              "CGO'11 Sec. IV-C2");
+  ExperimentHarness H("sweep_lookahead",
+                      "Sec. IV-C2: lookahead depth sweep (BB[15,*])",
+                      "CGO'11 Sec. IV-C2");
 
-  Lab L;
-  double Horizon = 400 * envScale();
-  uint32_t Slots = 18;
-  uint64_t Seed = 4;
-
-  Table T({"lookahead", "throughput %", "avg time %", "max-stretch %",
-           "switches"});
+  SweepGrid G;
   for (uint32_t Depth : {0u, 1u, 2u, 3u}) {
     TransitionConfig C;
     C.Strat = Strategy::BasicBlock;
     C.MinSize = 15;
     C.Lookahead = Depth;
-    Comparison Cmp = L.compare(TechniqueSpec::tuned(C, defaultTuner(0.15)),
-                               Slots, Horizon, Seed);
-    T.addRow({std::to_string(Depth),
-              Table::fmt(Cmp.throughputImprovement(), 2),
-              Table::fmt(Cmp.avgTimeDecrease(), 2),
-              Table::fmt(Cmp.maxStretchDecrease(), 2),
-              Table::fmtInt(static_cast<long long>(
-                  Cmp.Tuned.TotalSwitches))});
+    G.Techniques.push_back(TechniqueSpec::tuned(C, defaultTuner(0.15)));
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference shape: lookahead 0 marks most edges "
-              "(highest throughput potential, worst fairness); deeper "
-              "lookahead suppresses marks\n");
-  return 0;
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/400 * H.scale(), /*Seed=*/4}};
+  SweepResult R = H.sweep(H.lab(), G);
+
+  Table T({"lookahead", "throughput %", "avg time %", "max-stretch %",
+           "switches"});
+  for (const SweepCell &Cell : R.Cells) {
+    Comparison Cmp = R.comparison(Cell);
+    T.addRow(
+        {std::to_string(
+             G.Techniques[Cell.Technique].Transition.Lookahead),
+         Table::fmt(Cmp.throughputImprovement(), 2),
+         Table::fmt(Cmp.avgTimeDecrease(), 2),
+         Table::fmt(Cmp.maxStretchDecrease(), 2),
+         Table::fmtInt(static_cast<long long>(Cmp.Tuned.TotalSwitches))});
+  }
+  H.table(T);
+  H.note("paper reference shape: lookahead 0 marks most edges "
+         "(highest throughput potential, worst fairness); deeper "
+         "lookahead suppresses marks");
+  return H.finish();
 }

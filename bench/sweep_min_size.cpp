@@ -13,18 +13,15 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Sec. IV-C4: minimum section size sweep", "CGO'11 Sec. IV-C4");
-
-  Lab L;
-  double Horizon = 400 * envScale();
-  uint32_t Slots = 18;
-  uint64_t Seed = 44;
+  ExperimentHarness H("sweep_min_size",
+                      "Sec. IV-C4: minimum section size sweep",
+                      "CGO'11 Sec. IV-C4");
 
   struct Entry {
     Strategy Strat;
     uint32_t MinSize;
   };
-  std::vector<Entry> Entries = {
+  const std::vector<Entry> Entries = {
       {Strategy::BasicBlock, 10}, {Strategy::BasicBlock, 15},
       {Strategy::BasicBlock, 20}, {Strategy::Interval, 30},
       {Strategy::Interval, 45},   {Strategy::Interval, 60},
@@ -32,22 +29,29 @@ int main() {
       {Strategy::Loop, 60},
   };
 
-  Table T({"technique", "throughput %", "avg time %", "marks fired",
-           "switches"});
+  SweepGrid G;
   for (const Entry &E : Entries) {
     TransitionConfig C;
     C.Strat = E.Strat;
     C.MinSize = E.MinSize;
-    Comparison Cmp = L.compare(TechniqueSpec::tuned(C, defaultTuner(0.15)),
-                               Slots, Horizon, Seed);
-    T.addRow({C.label(), Table::fmt(Cmp.throughputImprovement(), 2),
-              Table::fmt(Cmp.avgTimeDecrease(), 2),
-              Table::fmtInt(static_cast<long long>(Cmp.Tuned.TotalMarks)),
-              Table::fmtInt(
-                  static_cast<long long>(Cmp.Tuned.TotalSwitches))});
+    G.Techniques.push_back(TechniqueSpec::tuned(C, defaultTuner(0.15)));
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference shape: smaller minimum sizes fire more "
-              "marks; the balance point is mid-range (e.g. Loop[45])\n");
-  return 0;
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/400 * H.scale(), /*Seed=*/44}};
+  SweepResult R = H.sweep(H.lab(), G);
+
+  Table T({"technique", "throughput %", "avg time %", "marks fired",
+           "switches"});
+  for (const SweepCell &Cell : R.Cells) {
+    Comparison Cmp = R.comparison(Cell);
+    T.addRow(
+        {G.Techniques[Cell.Technique].Transition.label(),
+         Table::fmt(Cmp.throughputImprovement(), 2),
+         Table::fmt(Cmp.avgTimeDecrease(), 2),
+         Table::fmtInt(static_cast<long long>(Cmp.Tuned.TotalMarks)),
+         Table::fmtInt(static_cast<long long>(Cmp.Tuned.TotalSwitches))});
+  }
+  H.table(T);
+  H.note("paper reference shape: smaller minimum sizes fire more "
+         "marks; the balance point is mid-range (e.g. Loop[45])");
+  return H.finish();
 }

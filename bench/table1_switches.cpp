@@ -15,33 +15,28 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Table 1: switches per benchmark (Loop[45], delta 0.2)",
-              "CGO'11 Table 1");
+  ExperimentHarness H(
+      "table1_switches",
+      "Table 1: switches per benchmark (Loop[45], delta 0.2)",
+      "CGO'11 Table 1");
 
-  MachineConfig MC = MachineConfig::quadAsymmetric();
-  std::vector<Program> Programs = buildSuite();
-  TransitionConfig Loop45;
-  Loop45.Strat = Strategy::Loop;
-  Loop45.MinSize = 45;
-  PreparedSuite Suite =
-      prepareSuite(Programs, MC, TechniqueSpec::tuned(Loop45,
-                                                      defaultTuner(0.2)));
-  SimConfig Sim;
+  Lab &L = H.lab();
+  std::vector<CompletedJob> Jobs = L.isolatedJobs(loop45(0.2));
 
   Table T({"benchmark", "switches", "runtime (s)", "marks fired",
            "monitored sections"});
-  for (uint32_t Bench = 0; Bench < Programs.size(); ++Bench) {
-    CompletedJob Job = runIsolated(Suite, Bench, MC, Sim);
-    T.addRow({Programs[Bench].Name,
+  for (size_t Bench = 0; Bench < Jobs.size(); ++Bench) {
+    const CompletedJob &Job = Jobs[Bench];
+    T.addRow({L.programs()[Bench].Name,
               Table::fmtInt(static_cast<long long>(Job.Stats.CoreSwitches)),
               Table::fmt(Job.Completion - Job.Arrival, 2),
               Table::fmtInt(static_cast<long long>(Job.Stats.MarksFired)),
               Table::fmtInt(
                   static_cast<long long>(Job.Stats.MonitorSessions))});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference (switches): equake 7715 > bzip2 4837 > "
-              "swim 3204 > mgrid 2005 > bwaves/applu 205 > lbm 99 > "
-              "mcf'06 15; GemsFDTD/astar 0\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference (switches): equake 7715 > bzip2 4837 > "
+         "swim 3204 > mgrid 2005 > bwaves/applu 205 > lbm 99 > "
+         "mcf'06 15; GemsFDTD/astar 0");
+  return H.finish();
 }

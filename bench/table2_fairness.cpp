@@ -14,29 +14,28 @@ using namespace pbt;
 using namespace pbt::bench;
 
 int main() {
-  printHeader("Table 2: fairness vs baseline (800 s interval)",
-              "CGO'11 Table 2");
+  ExperimentHarness H("table2_fairness",
+                      "Table 2: fairness vs baseline (800 s interval)",
+                      "CGO'11 Table 2");
 
-  Lab L;
-  double Horizon = 800 * envScale();
-  uint32_t Slots = 18;
-  uint64_t Seed = 21;
+  SweepGrid G;
+  G.Techniques = paperTechniques(0.15); // Table 2's best used delta 0.15.
+  G.Workloads = {{/*Slots=*/18, /*Horizon=*/800 * H.scale(), /*Seed=*/21}};
+  SweepResult R = H.sweep(H.lab(), G);
 
   Table T({"technique", "max-flow %", "max-stretch %", "avg time %",
            "throughput %"});
-  for (const TransitionConfig &Variant : paperVariants()) {
-    // Table 2's best configuration used threshold 0.15.
-    Comparison C = L.compare(TechniqueSpec::tuned(Variant,
-                                                  defaultTuner(0.15)),
-                             Slots, Horizon, Seed);
-    T.addRow({Variant.label(), Table::fmt(C.maxFlowDecrease(), 2),
+  for (const SweepCell &Cell : R.Cells) {
+    Comparison C = R.comparison(Cell);
+    T.addRow({G.Techniques[Cell.Technique].label(),
+              Table::fmt(C.maxFlowDecrease(), 2),
               Table::fmt(C.maxStretchDecrease(), 2),
               Table::fmt(C.avgTimeDecrease(), 2),
               Table::fmt(C.throughputImprovement(), 2)});
   }
-  std::fputs(T.render().c_str(), stdout);
-  std::printf("\npaper reference points (Loop[45]): max-flow +12.04%%, "
-              "max-stretch +20.41%%, avg time +35.95%%; BB variants "
-              "frequently negative\n");
-  return 0;
+  H.table(T);
+  H.note("paper reference points (Loop[45]): max-flow +12.04%, "
+         "max-stretch +20.41%, avg time +35.95%; BB variants "
+         "frequently negative");
+  return H.finish();
 }

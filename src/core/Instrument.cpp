@@ -6,9 +6,19 @@
 
 #include "core/Instrument.h"
 
+#include "support/Hashing.h"
+
 #include <cassert>
 
 using namespace pbt;
+
+uint64_t pbt::hashValue(const MarkCostModel &Cost) {
+  uint64_t H = hashCombine(0x9B31D7, Cost.MarkBytes);
+  H = hashCombine(H, Cost.RuntimeStubBytes);
+  H = hashCombine(H, Cost.MarkInsts);
+  H = hashCombine(H, Cost.MonitorSetupCycles);
+  return hashCombine(H, Cost.SwitchCycles);
+}
 
 InstrumentedProgram::InstrumentedProgram(Program ProgIn,
                                          MarkingResult Marking,

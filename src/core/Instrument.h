@@ -56,7 +56,21 @@ struct MarkCostModel {
     M.MarkInsts = 120; // Generic save-all/call/restore-all trampoline.
     return M;
   }
+
+  bool operator==(const MarkCostModel &Other) const {
+    return MarkBytes == Other.MarkBytes &&
+           RuntimeStubBytes == Other.RuntimeStubBytes &&
+           MarkInsts == Other.MarkInsts &&
+           MonitorSetupCycles == Other.MonitorSetupCycles &&
+           SwitchCycles == Other.SwitchCycles;
+  }
+  bool operator!=(const MarkCostModel &Other) const {
+    return !(*this == Other);
+  }
 };
+
+/// Stable content hash over every MarkCostModel field.
+uint64_t hashValue(const MarkCostModel &Cost);
 
 /// A program together with its phase marks and O(1) mark lookup,
 /// analogous to the paper's "standalone binary with phase information and

@@ -11,6 +11,7 @@
 #include "analysis/Intervals.h"
 #include "analysis/NaturalLoops.h"
 #include "core/Summaries.h"
+#include "support/Hashing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -38,6 +39,15 @@ std::string TransitionConfig::label() const {
     Out += "," + std::to_string(Lookahead);
   Out += "]";
   return Out;
+}
+
+uint64_t pbt::hashValue(const TransitionConfig &Config) {
+  uint64_t H = hashCombine(0x712A5B, static_cast<uint64_t>(Config.Strat));
+  H = hashCombine(H, Config.MinSize);
+  H = hashCombine(H, Config.Lookahead);
+  H = hashCombine(H, Config.Naive ? 1 : 0);
+  H = hashCombine(H, hashDouble(Config.NestingBase));
+  return hashCombine(H, hashDouble(Config.CycleWeight));
 }
 
 namespace {

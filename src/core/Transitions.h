@@ -65,7 +65,21 @@ struct TransitionConfig {
 
   /// Short label such as "Loop[45]" or "BB[15,2]".
   std::string label() const;
+
+  bool operator==(const TransitionConfig &Other) const {
+    return Strat == Other.Strat && MinSize == Other.MinSize &&
+           Lookahead == Other.Lookahead && Naive == Other.Naive &&
+           NestingBase == Other.NestingBase &&
+           CycleWeight == Other.CycleWeight;
+  }
+  bool operator!=(const TransitionConfig &Other) const {
+    return !(*this == Other);
+  }
 };
+
+/// Stable content hash over every TransitionConfig field (suite-cache
+/// keying; equal configs hash equally).
+uint64_t hashValue(const TransitionConfig &Config);
 
 /// Where a phase mark is anchored.
 enum class MarkPoint : uint8_t {

@@ -21,6 +21,8 @@
 #ifndef PBT_CORE_TUNER_H
 #define PBT_CORE_TUNER_H
 
+#include "support/Hashing.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -51,7 +53,25 @@ struct TunerConfig {
   /// Feedback extension (paper Sec. VI-B): forget a phase type's
   /// decision after this many firings and re-sample (0 = off).
   uint32_t ResampleAfterMarks = 0;
+
+  bool operator==(const TunerConfig &Other) const {
+    return IpcDelta == Other.IpcDelta &&
+           MinSampleInsts == Other.MinSampleInsts &&
+           SwitchToAllCores == Other.SwitchToAllCores &&
+           ResampleAfterMarks == Other.ResampleAfterMarks;
+  }
+  bool operator!=(const TunerConfig &Other) const {
+    return !(*this == Other);
+  }
 };
+
+/// Stable content hash over every TunerConfig field.
+inline uint64_t hashValue(const TunerConfig &Config) {
+  uint64_t H = hashCombine(0x7C4E12, hashDouble(Config.IpcDelta));
+  H = hashCombine(H, Config.MinSampleInsts);
+  H = hashCombine(H, Config.SwitchToAllCores ? 1 : 0);
+  return hashCombine(H, Config.ResampleAfterMarks);
+}
 
 /// Per-process dynamic tuning state machine.
 class PhaseTuner {

@@ -1,0 +1,172 @@
+//===- exp/Harness.cpp - Unified experiment harness -----------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Harness.h"
+
+#include "support/Env.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::exp;
+
+ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
+                                     std::string PaperRef)
+    : Name(std::move(NameIn)), Scale(envScale()) {
+  std::printf("== %s ==\n(reproduces %s; PBT_BENCH_SCALE=%.2f scales the "
+              "simulated horizon)\n\n",
+              Title.c_str(), PaperRef.c_str(), Scale);
+  Root["schema"] = "pbt-bench-v1";
+  Root["bench"] = Name;
+  Root["title"] = std::move(Title);
+  Root["paper_ref"] = std::move(PaperRef);
+  Root["scale"] = Scale;
+}
+
+Lab &ExperimentHarness::lab(const MachineConfig &MachineCfg) {
+  for (auto &Entry : Labs)
+    if (Entry.first == MachineCfg && Entry.first.Name == MachineCfg.Name)
+      return *Entry.second;
+  Labs.emplace_back(MachineCfg, std::make_unique<Lab>(MachineCfg));
+  return *Labs.back().second;
+}
+
+Lab &ExperimentHarness::customLab(std::vector<Program> Programs,
+                                  MachineConfig MachineCfg, SimConfig Sim) {
+  CustomLabs.push_back(std::make_unique<Lab>(std::move(Programs),
+                                             std::move(MachineCfg), Sim));
+  return *CustomLabs.back();
+}
+
+namespace {
+
+Json runMetrics(const RunResult &Run, const FairnessMetrics &Fair) {
+  Json M = Json::object();
+  M["instructions"] = Run.InstructionsRetired;
+  M["switches"] = Run.TotalSwitches;
+  M["marks_fired"] = Run.TotalMarks;
+  M["counter_waits"] = Run.CounterWaits;
+  M["overhead_cycles"] = Run.TotalOverheadCycles;
+  M["total_cycles"] = Run.TotalCycles;
+  M["completed_jobs"] = Run.Completed.size();
+  M["max_flow"] = Fair.MaxFlow;
+  M["max_stretch"] = Fair.MaxStretch;
+  M["avg_process_time"] = Fair.AvgProcessTime;
+  return M;
+}
+
+Json techniqueJson(const TechniqueSpec &Tech) {
+  Json T = Json::object();
+  T["label"] = Tech.label();
+  T["baseline"] = Tech.Baseline;
+  if (Tech.StaticWholeProgramAssignment)
+    T["static_whole_program_assignment"] = true;
+  if (!Tech.Baseline) {
+    T["strategy"] = strategyName(Tech.Transition.Strat);
+    T["min_size"] = Tech.Transition.MinSize;
+    T["lookahead"] = Tech.Transition.Lookahead;
+    if (Tech.Transition.Naive)
+      T["naive"] = true;
+    T["ipc_delta"] = Tech.Tuner.IpcDelta;
+    if (Tech.Tuner.SwitchToAllCores)
+      T["switch_to_all_cores"] = true;
+    if (Tech.UseStaticTyping)
+      T["static_typing"] = true;
+    if (Tech.TypingError > 0)
+      T["typing_error"] = Tech.TypingError;
+  }
+  return T;
+}
+
+Json workloadJson(const WorkloadSpec &Spec) {
+  Json W = Json::object();
+  W["slots"] = Spec.Slots;
+  W["jobs_per_slot"] = Spec.JobsPerSlot;
+  W["horizon"] = Spec.Horizon;
+  W["seed"] = Spec.Seed;
+  return W;
+}
+
+} // namespace
+
+SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
+  SweepResult Result = runSweep(L, Grid);
+
+  Json Cells = Json::array();
+  for (const SweepCell &Cell : Result.Cells) {
+    Json C = Json::object();
+    C["technique"] = techniqueJson(Grid.Techniques[Cell.Technique]);
+    C["workload"] = workloadJson(Grid.Workloads[Cell.Workload]);
+    C["typing_seed"] = Grid.TypingSeeds[Cell.TypingSeed];
+    C["metrics"] = runMetrics(Cell.Run, Cell.Fair);
+    if (Grid.WithBaseline) {
+      C["baseline"] = runMetrics(Result.base(Cell),
+                                 Result.BaselineFair[Cell.Workload]);
+      Comparison Cmp = Result.comparison(Cell);
+      Json Vs = Json::object();
+      Vs["throughput_pct"] = Cmp.throughputImprovement();
+      Vs["avg_time_pct"] = Cmp.avgTimeDecrease();
+      Vs["max_flow_pct"] = Cmp.maxFlowDecrease();
+      Vs["max_stretch_pct"] = Cmp.maxStretchDecrease();
+      C["vs_baseline"] = std::move(Vs);
+    }
+    Cells.push(std::move(C));
+  }
+  Json CacheStats = Json::object();
+  CacheStats["hits"] = L.cache().hits();
+  CacheStats["misses"] = L.cache().misses();
+
+  Json Record = Json::object();
+  Record["machine"] = L.machine().Name;
+  Record["cells"] = std::move(Cells);
+  Record["suite_cache"] = std::move(CacheStats);
+  Root["sweeps"].push(std::move(Record));
+  return Result;
+}
+
+std::vector<SweepResult> ExperimentHarness::sweep(const SweepGrid &Grid) {
+  std::vector<MachineConfig> Machines = Grid.Machines;
+  if (Machines.empty())
+    Machines.push_back(MachineConfig::quadAsymmetric());
+  std::vector<SweepResult> Results;
+  Results.reserve(Machines.size());
+  for (const MachineConfig &MachineCfg : Machines)
+    Results.push_back(sweep(lab(MachineCfg), Grid));
+  return Results;
+}
+
+void ExperimentHarness::table(const Table &T) {
+  std::fputs(T.render().c_str(), stdout);
+  Json Columns = Json::array();
+  for (const std::string &Column : T.columns())
+    Columns.push(Column);
+  Json Rows = Json::array();
+  for (const std::vector<std::string> &Row : T.rows()) {
+    Json Cells = Json::array();
+    for (const std::string &Cell : Row)
+      Cells.push(Cell);
+    Rows.push(std::move(Cells));
+  }
+  Json Record = Json::object();
+  Record["columns"] = std::move(Columns);
+  Record["rows"] = std::move(Rows);
+  Root["tables"].push(std::move(Record));
+}
+
+void ExperimentHarness::note(const std::string &Text) {
+  std::printf("\n%s\n", Text.c_str());
+  Root["notes"].push(Text);
+}
+
+int ExperimentHarness::finish() {
+  std::string Path = "BENCH_" + Name + ".json";
+  if (!writeJsonFile(Path, Root)) {
+    std::perror(Path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
+}

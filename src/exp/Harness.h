@@ -1,0 +1,102 @@
+//===- exp/Harness.h - Unified experiment harness --------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ExperimentHarness ties the experiment layer together for the
+/// bench binaries: it owns one Lab per machine (each with its own suite
+/// cache), executes declarative SweepGrids, and accumulates everything an
+/// experiment produces — rendered tables, notes, and self-describing
+/// sweep cells — into a canonical `BENCH_<name>.json` artifact written by
+/// finish(). A binary becomes a thin declaration:
+///
+///   ExperimentHarness H("table2_fairness", "Table 2: ...", "CGO'11 ...");
+///   SweepGrid G;
+///   G.Techniques = ...;
+///   G.Workloads = {{18, 800 * H.scale(), 21}};
+///   SweepResult R = H.sweep(H.lab(), G);
+///   ... build a Table from R ...
+///   H.table(T);
+///   H.note("paper reference points ...");
+///   return H.finish();
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_EXP_HARNESS_H
+#define PBT_EXP_HARNESS_H
+
+#include "exp/Lab.h"
+#include "exp/Sweep.h"
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pbt {
+namespace exp {
+
+/// Shared driver for all experiment binaries: labs, sweeps, artifact.
+class ExperimentHarness {
+public:
+  /// Prints the standard experiment banner and starts the artifact.
+  /// \p Name keys the artifact file (`BENCH_<Name>.json`), \p Title is
+  /// the human headline, \p PaperRef names the reproduced figure/table.
+  ExperimentHarness(std::string Name, std::string Title,
+                    std::string PaperRef);
+
+  /// Horizon scale from PBT_BENCH_SCALE (legacy alias PBT_SCALE).
+  double scale() const { return Scale; }
+
+  /// The lab for \p MachineCfg, created on first use and shared (with
+  /// its suite cache) by every sweep on that machine.
+  Lab &lab(const MachineConfig &MachineCfg = MachineConfig::quadAsymmetric());
+
+  /// Registers a custom lab (subsetted programs, ablation SimConfigs)
+  /// under the harness's lifetime and returns it.
+  Lab &customLab(std::vector<Program> Programs, MachineConfig MachineCfg,
+                 SimConfig Sim = SimConfig());
+
+  /// Runs \p Grid on \p L and records every cell (with technique /
+  /// machine / workload / seed labels and canonical metrics) into the
+  /// artifact's "sweeps" array.
+  SweepResult sweep(Lab &L, const SweepGrid &Grid);
+
+  /// Runs \p Grid once per machine of its machine axis (default:
+  /// quadAsymmetric) on the corresponding lab; results are per machine,
+  /// in axis order.
+  std::vector<SweepResult> sweep(const SweepGrid &Grid);
+
+  /// Prints \p T to stdout and records it in the artifact.
+  void table(const Table &T);
+
+  /// Prints \p Text (blank-line separated) and records it.
+  void note(const std::string &Text);
+
+  /// Free-form artifact section for experiment-specific extras.
+  Json &json() { return Root; }
+
+  /// Writes `BENCH_<name>.json`; returns the binary's exit code (0 on
+  /// success, 1 when the artifact could not be written).
+  int finish();
+
+private:
+  std::string Name;
+  double Scale;
+  Json Root;
+  /// Machine-keyed labs, matched by structural equality AND Name (two
+  /// structurally equal machines with different display names get their
+  /// own labs so artifacts label them correctly). Linear scan: an
+  /// experiment touches a handful of machines at most.
+  std::vector<std::pair<MachineConfig, std::unique_ptr<Lab>>> Labs;
+  std::vector<std::unique_ptr<Lab>> CustomLabs;
+};
+
+} // namespace exp
+} // namespace pbt
+
+#endif // PBT_EXP_HARNESS_H

@@ -1,0 +1,119 @@
+//===- exp/Lab.h - Shared experiment context -------------------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lab is one experiment context: a fixed program set on a fixed
+/// machine with a fixed SimConfig, plus a SuiteCache so every technique
+/// variant is prepared at most once per (preparation, typing-seed) and a
+/// lazily measured isolated-runtime vector (the t_i of the fairness
+/// metrics). Promoted out of bench/BenchCommon.h so experiment binaries,
+/// sweeps, and tests all share one implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_EXP_LAB_H
+#define PBT_EXP_LAB_H
+
+#include "exp/SuiteCache.h"
+#include "metrics/Fairness.h"
+#include "workload/Benchmarks.h"
+#include "workload/Runner.h"
+
+#include <vector>
+
+namespace pbt {
+namespace exp {
+
+/// One baseline-vs-technique workload comparison.
+struct Comparison {
+  RunResult Base;
+  RunResult Tuned;
+  FairnessMetrics BaseFair;
+  FairnessMetrics TunedFair;
+
+  double throughputImprovement() const {
+    return percentIncrease(static_cast<double>(Base.InstructionsRetired),
+                           static_cast<double>(Tuned.InstructionsRetired));
+  }
+  double avgTimeDecrease() const {
+    return percentDecrease(BaseFair.AvgProcessTime,
+                           TunedFair.AvgProcessTime);
+  }
+  double maxFlowDecrease() const {
+    return percentDecrease(BaseFair.MaxFlow, TunedFair.MaxFlow);
+  }
+  double maxStretchDecrease() const {
+    return percentDecrease(BaseFair.MaxStretch, TunedFair.MaxStretch);
+  }
+};
+
+/// Shared experiment context: built programs, cached prepared suites, and
+/// lazily measured isolated runtimes.
+class Lab {
+public:
+  /// The default lab: the 15-benchmark paper suite on \p MachineCfg.
+  explicit Lab(MachineConfig MachineCfg = MachineConfig::quadAsymmetric());
+
+  /// A custom lab (subsetted program lists, ablation sim configs, ...).
+  Lab(std::vector<Program> Programs, MachineConfig MachineCfg,
+      SimConfig Sim = SimConfig());
+
+  const std::vector<Program> &programs() const { return Programs; }
+  const MachineConfig &machine() const { return MachineCfg; }
+  const SimConfig &sim() const { return Sim; }
+
+  /// Isolated runtime t_i per benchmark, measured on first use
+  /// (uninstrumented, alone on the machine, canonical seed).
+  const std::vector<double> &isolated();
+
+  /// The prepared suite for \p Tech, served from the cache when an
+  /// equivalent preparation exists (see SuiteCache).
+  PreparedSuite suite(const TechniqueSpec &Tech, uint64_t TypingSeed = 42);
+
+  /// Runs one workload under \p Tech (canonical 512-jobs-per-slot queues).
+  RunResult run(const TechniqueSpec &Tech, uint32_t Slots, double Horizon,
+                uint64_t Seed);
+
+  /// Runs baseline + technique on identical queues and seeds. The two
+  /// replays are independent simulations, so they run concurrently on
+  /// the global thread pool (results identical to back-to-back runs).
+  Comparison compare(const TechniqueSpec &Tech, uint32_t Slots,
+                     double Horizon, uint64_t Seed);
+
+  /// Runs benchmark \p Bench alone to completion under \p Tech.
+  CompletedJob isolatedJob(const TechniqueSpec &Tech, uint32_t Bench,
+                           uint64_t Seed = 1);
+
+  /// isolatedJob for every benchmark, fanned out over the global thread
+  /// pool; results are by-index and bit-identical to the serial loop.
+  std::vector<CompletedJob> isolatedJobs(const TechniqueSpec &Tech,
+                                         uint64_t Seed = 1);
+
+  /// isolatedJob for the listed benchmark indices only (same parallel
+  /// fan-out); result I corresponds to Benches[I].
+  std::vector<CompletedJob>
+  isolatedJobs(const TechniqueSpec &Tech,
+               const std::vector<uint32_t> &Benches, uint64_t Seed = 1);
+
+  /// The canonical queue shape shared by run() and compare(): 512 jobs
+  /// per slot keeps every slot busy for the longest horizons used.
+  Workload workload(uint32_t Slots, uint64_t Seed) const;
+
+  SuiteCache &cache() { return Cache; }
+
+private:
+  MachineConfig MachineCfg;
+  SimConfig Sim;
+  std::vector<Program> Programs;
+  SuiteCache Cache;
+  std::vector<double> Isolated;
+  bool IsolatedMeasured = false;
+};
+
+} // namespace exp
+} // namespace pbt
+
+#endif // PBT_EXP_LAB_H

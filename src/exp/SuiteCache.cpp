@@ -1,0 +1,56 @@
+//===- exp/SuiteCache.cpp - Content-addressed prepared-suite cache --------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/SuiteCache.h"
+
+#include "support/Hashing.h"
+
+using namespace pbt;
+using namespace pbt::exp;
+
+PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
+                              const MachineConfig &Machine,
+                              const TechniqueSpec &Tech,
+                              uint64_t TypingSeed) {
+  uint64_t Key = hashCombine(Tech.preparationHash(), hashValue(Machine));
+  Key = hashCombine(Key, TypingSeed);
+
+  std::vector<Entry> &Bucket = Buckets[Key];
+  for (const Entry &E : Bucket) {
+    if (E.TypingSeed == TypingSeed && E.Tech.samePreparation(Tech) &&
+        E.Machine == Machine) {
+      ++Hits;
+      PreparedSuite Suite = *E.Suite; // Shares the immutable images.
+      Suite.Tuner = Tech.Tuner;
+      return Suite;
+    }
+  }
+
+  ++Misses;
+  Entry E;
+  E.Tech = Tech;
+  E.Machine = Machine;
+  E.TypingSeed = TypingSeed;
+  E.Suite = std::make_shared<const PreparedSuite>(
+      prepareSuite(Programs, Machine, Tech, TypingSeed));
+  Bucket.push_back(E);
+  PreparedSuite Suite = *E.Suite;
+  Suite.Tuner = Tech.Tuner;
+  return Suite;
+}
+
+size_t SuiteCache::size() const {
+  size_t N = 0;
+  for (const auto &KV : Buckets)
+    N += KV.second.size();
+  return N;
+}
+
+void SuiteCache::clear() {
+  Buckets.clear();
+  Hits = 0;
+  Misses = 0;
+}

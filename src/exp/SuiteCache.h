@@ -1,0 +1,74 @@
+//===- exp/SuiteCache.h - Content-addressed prepared-suite cache -*- C++-*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache of prepared benchmark suites keyed by a content hash of
+/// (TechniqueSpec, MachineConfig, TypingSeed). Preparation is the
+/// expensive static half of an experiment (typing + marking +
+/// instrumentation + flat-image build for every program); the tuner
+/// configuration only parameterizes the *dynamic* analysis at spawn time,
+/// so the key deliberately uses TechniqueSpec::samePreparation — sweeps
+/// that vary only TunerConfig, workload, seed, or horizon reuse the same
+/// prepared images and skip re-preparation entirely.
+///
+/// One cache serves one fixed program set (it is owned by a Lab, whose
+/// programs never change); programs are therefore not part of the key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_EXP_SUITECACHE_H
+#define PBT_EXP_SUITECACHE_H
+
+#include "workload/Runner.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pbt {
+namespace exp {
+
+/// Content-addressed cache of PreparedSuites for one program set.
+class SuiteCache {
+public:
+  /// Returns the suite for (\p Tech, \p Machine, \p TypingSeed),
+  /// preparing it on a miss. The returned value shares the cached
+  /// immutable images/costs/flats (cheap shared_ptr copies) but carries
+  /// \p Tech's own TunerConfig, so cache hits still honor the requested
+  /// tuner.
+  PreparedSuite get(const std::vector<Program> &Programs,
+                    const MachineConfig &Machine, const TechniqueSpec &Tech,
+                    uint64_t TypingSeed = 42);
+
+  /// Requests served without re-preparation.
+  uint64_t hits() const { return Hits; }
+  /// Requests that had to run the static pipeline.
+  uint64_t misses() const { return Misses; }
+  /// Distinct prepared suites currently held.
+  size_t size() const;
+
+  void clear();
+
+private:
+  struct Entry {
+    TechniqueSpec Tech; ///< Tuner field is not part of the identity.
+    MachineConfig Machine;
+    uint64_t TypingSeed = 42;
+    std::shared_ptr<const PreparedSuite> Suite;
+  };
+
+  /// Hash buckets hold entry lists so hash collisions fall back to exact
+  /// comparison (samePreparation + machine equality + seed).
+  std::unordered_map<uint64_t, std::vector<Entry>> Buckets;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace exp
+} // namespace pbt
+
+#endif // PBT_EXP_SUITECACHE_H

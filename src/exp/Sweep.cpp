@@ -1,0 +1,90 @@
+//===- exp/Sweep.cpp - Declarative technique/workload sweeps --------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Sweep.h"
+
+using namespace pbt;
+using namespace pbt::exp;
+
+Comparison SweepResult::comparison(const SweepCell &Cell) const {
+  Comparison C;
+  C.Base = base(Cell);
+  C.Tuned = Cell.Run;
+  C.BaseFair = BaselineFair[Cell.Workload];
+  C.TunedFair = Cell.Fair;
+  return C;
+}
+
+double SweepResult::throughputImprovement(const SweepCell &Cell) const {
+  return percentIncrease(
+      static_cast<double>(base(Cell).InstructionsRetired),
+      static_cast<double>(Cell.Run.InstructionsRetired));
+}
+
+SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
+  SweepResult Result;
+  const std::vector<double> &Iso = L.isolated();
+
+  // Prepare every distinct (technique, typing seed) once, through the
+  // suite cache: variants sharing a preparation (e.g. tuner-only sweeps)
+  // come back as cheap copies of the same images.
+  std::vector<PreparedSuite> Suites;
+  Suites.reserve(Grid.Techniques.size() * Grid.TypingSeeds.size() + 1);
+  for (const TechniqueSpec &Tech : Grid.Techniques)
+    for (uint64_t TypingSeed : Grid.TypingSeeds)
+      Suites.push_back(L.suite(Tech, TypingSeed));
+  PreparedSuite BaselineSuite;
+  if (Grid.WithBaseline)
+    BaselineSuite = L.suite(TechniqueSpec::baseline());
+
+  // Materialize each workload shape once; baselines replay it once and
+  // every cell of every technique reuses the identical queues/seeds (the
+  // paper's same-queues methodology).
+  std::vector<Workload> Workloads;
+  Workloads.reserve(Grid.Workloads.size());
+  for (const WorkloadSpec &Spec : Grid.Workloads)
+    Workloads.push_back(Workload::random(
+        Spec.Slots, Spec.JobsPerSlot,
+        static_cast<uint32_t>(L.programs().size()), Spec.Seed));
+
+  // One flat batch: baseline replays first, then all cells. Every job is
+  // an independent simulation, so batch execution is bit-identical to
+  // running them back to back.
+  std::vector<WorkloadJob> Jobs;
+  size_t BaselineJobs = Grid.WithBaseline ? Grid.Workloads.size() : 0;
+  for (size_t W = 0; W < BaselineJobs; ++W)
+    Jobs.push_back({&BaselineSuite, &Workloads[W], &L.machine(), L.sim(),
+                    Grid.Workloads[W].Horizon, &Iso});
+  for (size_t T = 0; T < Grid.Techniques.size(); ++T)
+    for (size_t W = 0; W < Grid.Workloads.size(); ++W)
+      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S) {
+        const PreparedSuite &Suite =
+            Suites[T * Grid.TypingSeeds.size() + S];
+        Jobs.push_back({&Suite, &Workloads[W], &L.machine(), L.sim(),
+                        Grid.Workloads[W].Horizon, &Iso});
+      }
+  std::vector<RunResult> Runs = runWorkloads(Jobs);
+
+  for (size_t W = 0; W < BaselineJobs; ++W) {
+    Result.Baselines.push_back(std::move(Runs[W]));
+    Result.BaselineFair.push_back(
+        computeFairness(Result.Baselines.back().Completed));
+  }
+
+  size_t Next = BaselineJobs;
+  for (size_t T = 0; T < Grid.Techniques.size(); ++T)
+    for (size_t W = 0; W < Grid.Workloads.size(); ++W)
+      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S) {
+        SweepCell Cell;
+        Cell.Technique = static_cast<uint32_t>(T);
+        Cell.Workload = static_cast<uint32_t>(W);
+        Cell.TypingSeed = static_cast<uint32_t>(S);
+        Cell.Run = std::move(Runs[Next++]);
+        Cell.Fair = computeFairness(Cell.Run.Completed);
+        Result.Cells.push_back(std::move(Cell));
+      }
+  return Result;
+}

@@ -1,0 +1,99 @@
+//===- exp/Sweep.h - Declarative technique/workload sweeps -----*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative sweep layer of the experiment harness. A SweepGrid
+/// names the axes of an experiment — technique variants, machines,
+/// workload shapes, typing seeds — and runSweep executes the cross
+/// product: suites are prepared once per distinct preparation (served by
+/// the Lab's SuiteCache), every cell's workload replay is an independent
+/// simulation fanned out over the global thread pool in one batch, and
+/// each unique workload's baseline replay is run exactly once and shared
+/// by every cell that compares against it. Results are canonical
+/// per-cell RunResults, bit-identical to running each cell serially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_EXP_SWEEP_H
+#define PBT_EXP_SWEEP_H
+
+#include "exp/Lab.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+namespace exp {
+
+/// One workload shape: how many slots, how long, which queues.
+struct WorkloadSpec {
+  uint32_t Slots = 18;
+  /// Simulated horizon in seconds (callers pre-scale by envScale()).
+  double Horizon = 400;
+  /// Workload-generation seed (queues + per-job branch seeds).
+  uint64_t Seed = 21;
+  uint32_t JobsPerSlot = 512;
+};
+
+/// Axes of one sweep. Cells enumerate Techniques x Workloads x
+/// TypingSeeds (machines are handled one Lab at a time; see
+/// ExperimentHarness::sweep for the machine axis).
+struct SweepGrid {
+  std::vector<TechniqueSpec> Techniques;
+  std::vector<WorkloadSpec> Workloads;
+  /// Machine axis, used by ExperimentHarness::sweep(Grid); empty means
+  /// the default quadAsymmetric machine.
+  std::vector<MachineConfig> Machines;
+  std::vector<uint64_t> TypingSeeds = {42};
+  /// Also replay each workload under the uninstrumented baseline (once
+  /// per workload, shared across techniques) so cells can report
+  /// vs-baseline deltas.
+  bool WithBaseline = true;
+};
+
+/// One executed cell: axis indices plus the canonical run results.
+struct SweepCell {
+  uint32_t Technique = 0;  ///< Index into SweepGrid::Techniques.
+  uint32_t Workload = 0;   ///< Index into SweepGrid::Workloads.
+  uint32_t TypingSeed = 0; ///< Index into SweepGrid::TypingSeeds.
+  RunResult Run;
+  FairnessMetrics Fair;
+};
+
+/// All cells of one grid on one machine, in technique-major order
+/// (technique, then workload, then typing seed).
+struct SweepResult {
+  std::vector<SweepCell> Cells;
+  /// Baseline replay per workload index (empty without WithBaseline).
+  std::vector<RunResult> Baselines;
+  std::vector<FairnessMetrics> BaselineFair;
+
+  /// True when the grid ran with WithBaseline; base()/comparison()/
+  /// throughputImprovement() may only be called when this holds.
+  bool hasBaselines() const { return !Baselines.empty(); }
+
+  const RunResult &base(const SweepCell &Cell) const {
+    assert(hasBaselines() && "grid ran with WithBaseline = false");
+    return Baselines[Cell.Workload];
+  }
+
+  /// Assembles the classic baseline-vs-technique comparison for a cell.
+  Comparison comparison(const SweepCell &Cell) const;
+
+  /// Throughput improvement of a cell over its workload's baseline, %.
+  double throughputImprovement(const SweepCell &Cell) const;
+};
+
+/// Executes \p Grid on \p L (the grid's machine axis is ignored here;
+/// the Lab fixes the machine). Preparation happens through the Lab's
+/// suite cache; all workload replays run as one parallel batch.
+SweepResult runSweep(Lab &L, const SweepGrid &Grid);
+
+} // namespace exp
+} // namespace pbt
+
+#endif // PBT_EXP_SWEEP_H

@@ -6,10 +6,43 @@
 
 #include "sim/MachineConfig.h"
 
+#include "support/Hashing.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace pbt;
+
+bool MachineConfig::operator==(const MachineConfig &Other) const {
+  if (MemLatency != Other.MemLatency ||
+      CoreTypes.size() != Other.CoreTypes.size() ||
+      Cores.size() != Other.Cores.size())
+    return false;
+  for (size_t I = 0; I < CoreTypes.size(); ++I)
+    if (CoreTypes[I].Frequency != Other.CoreTypes[I].Frequency ||
+        CoreTypes[I].L2CacheKB != Other.CoreTypes[I].L2CacheKB)
+      return false;
+  for (size_t I = 0; I < Cores.size(); ++I)
+    if (Cores[I].TypeId != Other.Cores[I].TypeId ||
+        Cores[I].L2Group != Other.Cores[I].L2Group)
+      return false;
+  return true;
+}
+
+uint64_t pbt::hashValue(const MachineConfig &Config) {
+  uint64_t H = hashCombine(0x3AC41E, hashDouble(Config.MemLatency));
+  H = hashCombine(H, Config.CoreTypes.size());
+  for (const CoreTypeDesc &T : Config.CoreTypes) {
+    H = hashCombine(H, hashDouble(T.Frequency));
+    H = hashCombine(H, T.L2CacheKB);
+  }
+  H = hashCombine(H, Config.Cores.size());
+  for (const CoreDesc &C : Config.Cores) {
+    H = hashCombine(H, C.TypeId);
+    H = hashCombine(H, C.L2Group);
+  }
+  return H;
+}
 
 uint32_t MachineConfig::maxGroupSize() const {
   std::vector<uint32_t> Sizes;
@@ -37,6 +70,7 @@ static CoreTypeDesc slowType() { return {"slow", 1.6e6, 4096}; }
 
 MachineConfig MachineConfig::quadAsymmetric() {
   MachineConfig M;
+  M.Name = "quadAsymmetric";
   M.CoreTypes = {fastType(), slowType()};
   // Same-frequency cores pair on an L2, as in the paper's Core 2 Quad.
   M.Cores = {{0, 0}, {0, 0}, {1, 1}, {1, 1}};
@@ -45,6 +79,7 @@ MachineConfig MachineConfig::quadAsymmetric() {
 
 MachineConfig MachineConfig::threeCore() {
   MachineConfig M;
+  M.Name = "threeCore";
   M.CoreTypes = {fastType(), slowType()};
   M.Cores = {{0, 0}, {0, 0}, {1, 1}};
   return M;
@@ -52,6 +87,7 @@ MachineConfig MachineConfig::threeCore() {
 
 MachineConfig MachineConfig::symmetricQuad() {
   MachineConfig M;
+  M.Name = "symmetricQuad";
   M.CoreTypes = {fastType()};
   M.Cores = {{0, 0}, {0, 0}, {0, 1}, {0, 1}};
   return M;
@@ -59,6 +95,7 @@ MachineConfig MachineConfig::symmetricQuad() {
 
 MachineConfig MachineConfig::octoAsymmetric() {
   MachineConfig M;
+  M.Name = "octoAsymmetric";
   M.CoreTypes = {fastType(), slowType()};
   M.Cores = {{0, 0}, {0, 0}, {0, 1}, {0, 1},
              {1, 2}, {1, 2}, {1, 3}, {1, 3}};

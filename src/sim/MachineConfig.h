@@ -46,6 +46,10 @@ struct CoreDesc {
 
 /// A whole machine.
 struct MachineConfig {
+  /// Display label for harness tables and BENCH_*.json cells; NOT part of
+  /// the machine's semantic identity (ignored by operator== and
+  /// hashValue), so renaming a machine never invalidates cached suites.
+  std::string Name = "custom";
   std::vector<CoreTypeDesc> CoreTypes;
   std::vector<CoreDesc> Cores;
   /// Effective main-memory latency in simulated seconds (raw DRAM latency
@@ -93,7 +97,18 @@ struct MachineConfig {
 
   /// A larger 4 fast + 4 slow machine (scalability extension).
   static MachineConfig octoAsymmetric();
+
+  /// Structural equality: core types, core layout, and memory latency
+  /// (Name excluded; it is a display label only).
+  bool operator==(const MachineConfig &Other) const;
+  bool operator!=(const MachineConfig &Other) const {
+    return !(*this == Other);
+  }
 };
+
+/// Stable content hash over the machine's structural fields (mirrors
+/// operator==: Name excluded).
+uint64_t hashValue(const MachineConfig &Config);
 
 } // namespace pbt
 

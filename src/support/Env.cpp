@@ -11,7 +11,9 @@
 using namespace pbt;
 
 double pbt::envScale(double Default) {
-  const char *Raw = std::getenv("PBT_SCALE");
+  const char *Raw = std::getenv("PBT_BENCH_SCALE");
+  if (!Raw)
+    Raw = std::getenv("PBT_SCALE"); // Legacy alias.
   if (!Raw)
     return Default;
   char *End = nullptr;

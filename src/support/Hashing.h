@@ -1,0 +1,59 @@
+//===- support/Hashing.h - Stable content-hash helpers ---------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic hashing helpers used to build *content hashes* of
+/// configuration structs (TechniqueSpec, MachineConfig, ...) for cache
+/// keys. The functions are stable across processes and platforms of equal
+/// endianness — they depend only on the hashed values, never on pointer
+/// identity — so hashes are reproducible within a run and suitable for
+/// keying the experiment harness's suite cache. Not cryptographic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_HASHING_H
+#define PBT_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pbt {
+
+/// Mixes \p Value into the running hash \p Seed (boost::hash_combine
+/// shape with a 64-bit golden-ratio constant).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // splitmix64 finalizer on the value, then combine.
+  Value += 0x9E3779B97F4A7C15ULL;
+  Value = (Value ^ (Value >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Value = (Value ^ (Value >> 27)) * 0x94D049BB133111EBULL;
+  Value ^= Value >> 31;
+  return Seed ^ (Value + 0x9E3779B97F4A7C15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+/// Hashes a double by bit pattern. -0.0 is canonicalized to +0.0 so
+/// numerically equal configurations hash equally.
+inline uint64_t hashDouble(double V) {
+  if (V == 0.0)
+    V = 0.0; // Collapse -0.0.
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+/// FNV-1a over the bytes of \p S.
+inline uint64_t hashString(const std::string &S) {
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
+} // namespace pbt
+
+#endif // PBT_SUPPORT_HASHING_H

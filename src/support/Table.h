@@ -37,6 +37,10 @@ public:
   /// Renders the table, header first, then a rule, then the rows.
   std::string render() const;
 
+  /// Column headers / data rows, for structured (JSON) emission.
+  const std::vector<std::string> &columns() const { return Header; }
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
 private:
   std::vector<std::string> Header;
   std::vector<std::vector<std::string>> Rows;

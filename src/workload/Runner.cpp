@@ -7,91 +7,152 @@
 #include "workload/Runner.h"
 
 #include "analysis/BlockTyping.h"
-#include "support/ThreadPool.h"
+#include "support/Hashing.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace pbt;
+
+std::string TechniqueSpec::label() const {
+  if (StaticWholeProgramAssignment)
+    return "HASS-static";
+  if (Baseline)
+    return "Linux";
+  std::string Out = Transition.label();
+  if (UseStaticTyping)
+    Out += "+static";
+  if (TypingError > 0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "+err%g%%", 100.0 * TypingError);
+    Out += Buf;
+  }
+  return Out;
+}
+
+uint64_t TechniqueSpec::preparationHash() const {
+  uint64_t H = hashCombine(0x5E17E3, Baseline ? 1 : 0);
+  H = hashCombine(H, hashValue(Transition));
+  H = hashCombine(H, UseStaticTyping ? 1 : 0);
+  H = hashCombine(H, StaticWholeProgramAssignment ? 1 : 0);
+  H = hashCombine(H, hashDouble(TypingError));
+  return hashCombine(H, hashValue(Cost));
+}
+
+uint64_t pbt::hashValue(const TechniqueSpec &Tech) {
+  return hashCombine(Tech.preparationHash(), hashValue(Tech.Tuner));
+}
+
+namespace {
+
+/// Prepared artifacts of one program (one index of the suite fan-out).
+struct PreparedProgram {
+  std::shared_ptr<const InstrumentedProgram> Image;
+  std::shared_ptr<const CostModel> Cost;
+  std::shared_ptr<const FlatImage> Flat;
+  uint64_t Affinity = 0;
+};
+
+/// The full static pipeline for one program: cost model, typing, marking,
+/// instrumentation, flat image. Pure function of its arguments, so the
+/// per-program calls can run on any thread in any order.
+PreparedProgram prepareOne(const Program &Prog, const MachineConfig &Machine,
+                           const TechniqueSpec &Tech, uint64_t TypingSeed) {
+  PreparedProgram Out;
+  auto Cost = std::make_shared<const CostModel>(Prog, Machine);
+
+  MarkingResult Marking;
+  if (Tech.Baseline) {
+    // Uninstrumented image: no marks; region typing is irrelevant.
+    Marking.NumTypes = 1;
+    Marking.RegionType.resize(Prog.Procs.size());
+  } else {
+    ProgramTyping Typing;
+    if (Tech.UseStaticTyping) {
+      TypingConfig Config;
+      Config.Seed = TypingSeed;
+      Typing = computeStaticTyping(Prog, Config);
+    } else {
+      Typing = computeOracleTyping(Prog, *Cost);
+    }
+    if (Tech.TypingError > 0)
+      Typing = injectClusteringError(Typing, Tech.TypingError,
+                                     TypingSeed ^ 0xE77);
+    Marking = computeTransitions(Prog, Typing, Tech.Transition);
+  }
+
+  if (Tech.StaticWholeProgramAssignment) {
+    // Whole-program dominant type: instruction-weighted vote over the
+    // behavioural typing; pin to that core type for the process's
+    // entire life (no phase awareness).
+    ProgramTyping Typing = computeOracleTyping(Prog, *Cost);
+    double MemWeight = 0;
+    double Total = 0;
+    for (const Procedure &P : Prog.Procs) {
+      if (P.Name.find("_cold") != std::string::npos)
+        continue; // Dead code should not vote.
+      for (const BasicBlock &BB : P.Blocks) {
+        // Cycle-weighted vote (HASS uses static performance
+        // estimates): a block's weight is its fast-core cycle cost.
+        double W = Cost->blockCycles(P.Id, BB.Id, 0, 1);
+        Total += W;
+        if (Typing.typeOf(P.Id, BB.Id) == 1)
+          MemWeight += W;
+      }
+    }
+    // Type 1 (memory) maps to the slowest core type, type 0 to the
+    // fastest, mirroring the phase-level policy at program granularity.
+    uint32_t Fast = 0;
+    uint32_t Slow = 0;
+    for (uint32_t Ct = 0; Ct < Machine.numCoreTypes(); ++Ct) {
+      if (Machine.CoreTypes[Ct].Frequency >
+          Machine.CoreTypes[Fast].Frequency)
+        Fast = Ct;
+      if (Machine.CoreTypes[Ct].Frequency <
+          Machine.CoreTypes[Slow].Frequency)
+        Slow = Ct;
+    }
+    // Pin only clearly dominant programs; mixed programs stay
+    // unconstrained (a sensible static assigner would not pin them).
+    double MemShare = Total > 0 ? MemWeight / Total : 0;
+    if (MemShare > 0.65)
+      Out.Affinity = Machine.coreMaskOfType(Slow);
+    else if (MemShare < 0.35)
+      Out.Affinity = Machine.coreMaskOfType(Fast);
+  }
+
+  Out.Image = std::make_shared<const InstrumentedProgram>(
+      Prog, std::move(Marking), Tech.Cost);
+  Out.Cost = std::move(Cost);
+  Out.Flat = std::make_shared<const FlatImage>(Out.Image, Out.Cost);
+  return Out;
+}
+
+} // namespace
 
 PreparedSuite pbt::prepareSuite(const std::vector<Program> &Programs,
                                 const MachineConfig &Machine,
                                 const TechniqueSpec &Tech,
-                                uint64_t TypingSeed) {
+                                uint64_t TypingSeed, ThreadPool *Pool) {
+  // Fan the per-program pipelines out over the pool; each index is an
+  // independent pure computation, so results are bit-identical to the
+  // serial loop whatever the pool size or claim order.
+  std::vector<PreparedProgram> Prepared(Programs.size());
+  ThreadPool &P = Pool ? *Pool : ThreadPool::global();
+  P.parallelFor(Programs.size(), [&](size_t Index) {
+    Prepared[Index] =
+        prepareOne(Programs[Index], Machine, Tech, TypingSeed);
+  });
+
   PreparedSuite Suite;
   Suite.Tuner = Tech.Tuner;
-
-  for (const Program &Prog : Programs) {
-    auto Cost = std::make_shared<const CostModel>(Prog, Machine);
-
-    MarkingResult Marking;
-    if (Tech.Baseline) {
-      // Uninstrumented image: no marks; region typing is irrelevant.
-      Marking.NumTypes = 1;
-      Marking.RegionType.resize(Prog.Procs.size());
-    } else {
-      ProgramTyping Typing;
-      if (Tech.UseStaticTyping) {
-        TypingConfig Config;
-        Config.Seed = TypingSeed;
-        Typing = computeStaticTyping(Prog, Config);
-      } else {
-        Typing = computeOracleTyping(Prog, *Cost);
-      }
-      if (Tech.TypingError > 0)
-        Typing = injectClusteringError(Typing, Tech.TypingError,
-                                       TypingSeed ^ 0xE77);
-      Marking = computeTransitions(Prog, Typing, Tech.Transition);
-    }
-
-    uint64_t Affinity = 0;
-    if (Tech.StaticWholeProgramAssignment) {
-      // Whole-program dominant type: instruction-weighted vote over the
-      // behavioural typing; pin to that core type for the process's
-      // entire life (no phase awareness).
-      ProgramTyping Typing = computeOracleTyping(Prog, *Cost);
-      double MemWeight = 0;
-      double Total = 0;
-      for (const Procedure &P : Prog.Procs) {
-        if (P.Name.find("_cold") != std::string::npos)
-          continue; // Dead code should not vote.
-        for (const BasicBlock &BB : P.Blocks) {
-          // Cycle-weighted vote (HASS uses static performance
-          // estimates): a block's weight is its fast-core cycle cost.
-          double W = Cost->blockCycles(P.Id, BB.Id, 0, 1);
-          Total += W;
-          if (Typing.typeOf(P.Id, BB.Id) == 1)
-            MemWeight += W;
-        }
-      }
-      // Type 1 (memory) maps to the slowest core type, type 0 to the
-      // fastest, mirroring the phase-level policy at program granularity.
-      uint32_t Fast = 0;
-      uint32_t Slow = 0;
-      for (uint32_t Ct = 0; Ct < Machine.numCoreTypes(); ++Ct) {
-        if (Machine.CoreTypes[Ct].Frequency >
-            Machine.CoreTypes[Fast].Frequency)
-          Fast = Ct;
-        if (Machine.CoreTypes[Ct].Frequency <
-            Machine.CoreTypes[Slow].Frequency)
-          Slow = Ct;
-      }
-      // Pin only clearly dominant programs; mixed programs stay
-      // unconstrained (a sensible static assigner would not pin them).
-      double MemShare = Total > 0 ? MemWeight / Total : 0;
-      if (MemShare > 0.65)
-        Affinity = Machine.coreMaskOfType(Slow);
-      else if (MemShare < 0.35)
-        Affinity = Machine.coreMaskOfType(Fast);
-    }
-
-    Suite.Names.push_back(Prog.Name);
-    Suite.Images.push_back(std::make_shared<const InstrumentedProgram>(
-        Prog, std::move(Marking), Tech.Cost));
-    Suite.Costs.push_back(std::move(Cost));
-    Suite.Flats.push_back(std::make_shared<const FlatImage>(
-        Suite.Images.back(), Suite.Costs.back()));
-    Suite.SpawnAffinity.push_back(Affinity);
+  for (size_t Index = 0; Index < Programs.size(); ++Index) {
+    Suite.Names.push_back(Programs[Index].Name);
+    Suite.Images.push_back(std::move(Prepared[Index].Image));
+    Suite.Costs.push_back(std::move(Prepared[Index].Cost));
+    Suite.Flats.push_back(std::move(Prepared[Index].Flat));
+    Suite.SpawnAffinity.push_back(Prepared[Index].Affinity);
   }
   return Suite;
 }

@@ -20,6 +20,7 @@
 #include "core/Transitions.h"
 #include "core/Tuner.h"
 #include "sim/Machine.h"
+#include "support/ThreadPool.h"
 #include "workload/Workload.h"
 
 #include <memory>
@@ -51,13 +52,11 @@ struct TechniqueSpec {
   /// Instrumentation cost profile.
   MarkCostModel Cost = MarkCostModel::tuned();
 
-  std::string label() const {
-    if (StaticWholeProgramAssignment)
-      return "HASS-static";
-    if (Baseline)
-      return "Linux";
-    return Transition.label();
-  }
+  /// Unambiguous display label: "Linux" (baseline), "HASS-static", or the
+  /// transition label with static-typing / typing-error markers appended
+  /// ("Loop[45]", "Loop[45]+static", "BB[15,0]+err10%"), so sweep cells
+  /// labeled by technique are self-describing.
+  std::string label() const;
 
   static TechniqueSpec baseline() {
     TechniqueSpec T;
@@ -77,7 +76,33 @@ struct TechniqueSpec {
     T.Tuner = Tuner;
     return T;
   }
+
+  bool operator==(const TechniqueSpec &Other) const {
+    return samePreparation(Other) && Tuner == Other.Tuner;
+  }
+  bool operator!=(const TechniqueSpec &Other) const {
+    return !(*this == Other);
+  }
+
+  /// True when \p Other prepares bit-identical suites: every field except
+  /// Tuner, which only parameterizes the dynamic analysis at spawn time
+  /// and never affects typing/marking/instrumentation/flat images. The
+  /// suite cache keys on this relation, so sweeps that vary only the
+  /// tuner reuse prepared images.
+  bool samePreparation(const TechniqueSpec &Other) const {
+    return Baseline == Other.Baseline && Transition == Other.Transition &&
+           UseStaticTyping == Other.UseStaticTyping &&
+           StaticWholeProgramAssignment ==
+               Other.StaticWholeProgramAssignment &&
+           TypingError == Other.TypingError && Cost == Other.Cost;
+  }
+
+  /// Stable content hash mirroring samePreparation (Tuner excluded).
+  uint64_t preparationHash() const;
 };
+
+/// Stable content hash over every TechniqueSpec field.
+uint64_t hashValue(const TechniqueSpec &Tech);
 
 /// Ready-to-run benchmark images for one technique on one machine.
 struct PreparedSuite {
@@ -94,11 +119,15 @@ struct PreparedSuite {
 };
 
 /// Types + marks + instruments every program for \p Tech on \p Machine.
-/// \p TypingSeed drives k-means and error injection.
+/// \p TypingSeed drives k-means and error injection. The per-program
+/// pipelines are independent, so they fan out over \p Pool (the global
+/// thread pool when null); each program writes its results by index, so
+/// the suite is bit-identical to the serial loop regardless of pool size.
 PreparedSuite prepareSuite(const std::vector<Program> &Programs,
                            const MachineConfig &Machine,
                            const TechniqueSpec &Tech,
-                           uint64_t TypingSeed = 42);
+                           uint64_t TypingSeed = 42,
+                           ThreadPool *Pool = nullptr);
 
 /// Isolated runtime t_i of each program: uninstrumented, alone on the
 /// machine, canonical branch seed. The per-program simulations are

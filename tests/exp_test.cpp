@@ -1,0 +1,397 @@
+//===- tests/exp_test.cpp - experiment harness: cache, sweeps, parallel ---===//
+
+#include "exp/Harness.h"
+#include "exp/Lab.h"
+#include "exp/SuiteCache.h"
+#include "exp/Sweep.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "workload/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::exp;
+
+namespace {
+
+/// A trimmed suite (3 fast benchmarks) keeps these tests quick.
+std::vector<Program> smallSuite() {
+  auto Specs = specSuite();
+  std::vector<Program> Programs;
+  for (const std::string &Name : {"164.gzip", "179.art", "473.astar"})
+    for (const BenchSpec &S : Specs)
+      if (S.Name == Name)
+        Programs.push_back(buildBenchmark(S));
+  return Programs;
+}
+
+/// Randomized benchmark programs: structure drawn deterministically from
+/// \p Seed, exercising multi-phase bodies, callee phases, and cold code.
+std::vector<Program> randomPrograms(uint64_t Seed, unsigned Count) {
+  Rng Gen(Seed);
+  std::vector<Program> Programs;
+  for (unsigned I = 0; I < Count; ++I) {
+    BenchSpec Spec;
+    Spec.Name = "rand" + std::to_string(I);
+    Spec.TargetSeconds = 0.2 + 0.1 * static_cast<double>(Gen.next() % 8);
+    Spec.Alternations = 1 + static_cast<unsigned>(Gen.next() % 40);
+    Spec.ColdCodeInsts = 2000 + static_cast<unsigned>(Gen.next() % 20000);
+    unsigned NumPhases = 1 + static_cast<unsigned>(Gen.next() % 3);
+    for (unsigned P = 0; P < NumPhases; ++P) {
+      PhaseSpec Phase;
+      Phase.Memory = (Gen.next() & 1) != 0;
+      Phase.Share = 1.0 / NumPhases;
+      Phase.BodyInsts = 40 + static_cast<unsigned>(Gen.next() % 300);
+      Phase.InCallee = (Gen.next() & 1) != 0;
+      Spec.Phases.push_back(Phase);
+    }
+    Programs.push_back(buildBenchmark(Spec));
+  }
+  return Programs;
+}
+
+TechniqueSpec loopTechnique(double Delta = 0.2) {
+  TransitionConfig TC;
+  TC.Strat = Strategy::Loop;
+  TC.MinSize = 45;
+  TunerConfig TU;
+  TU.IpcDelta = Delta;
+  return TechniqueSpec::tuned(TC, TU);
+}
+
+/// Asserts every prepared artifact of \p A and \p B is identical:
+/// instrumented images (marks, byte sizes), cost-model samples, flat
+/// images, and spawn affinities.
+void expectSuitesIdentical(const PreparedSuite &A, const PreparedSuite &B) {
+  ASSERT_EQ(A.Images.size(), B.Images.size());
+  EXPECT_EQ(A.Names, B.Names);
+  EXPECT_EQ(A.SpawnAffinity, B.SpawnAffinity);
+  for (size_t I = 0; I < A.Images.size(); ++I) {
+    const InstrumentedProgram &IA = *A.Images[I];
+    const InstrumentedProgram &IB = *B.Images[I];
+    ASSERT_EQ(IA.marks().size(), IB.marks().size());
+    for (size_t M = 0; M < IA.marks().size(); ++M) {
+      EXPECT_EQ(IA.marks()[M].Proc, IB.marks()[M].Proc);
+      EXPECT_EQ(IA.marks()[M].Block, IB.marks()[M].Block);
+      EXPECT_EQ(IA.marks()[M].SuccIndex, IB.marks()[M].SuccIndex);
+      EXPECT_EQ(IA.marks()[M].Point, IB.marks()[M].Point);
+      EXPECT_EQ(IA.marks()[M].PhaseType, IB.marks()[M].PhaseType);
+    }
+    EXPECT_EQ(IA.instrumentedByteSize(), IB.instrumentedByteSize());
+    EXPECT_DOUBLE_EQ(IA.spaceOverheadPercent(), IB.spaceOverheadPercent());
+    // Cost models: exact cycle samples across every (block, core type).
+    const Program &Prog = IA.program();
+    for (const Procedure &Proc : Prog.Procs)
+      for (const BasicBlock &BB : Proc.Blocks) {
+        EXPECT_EQ(A.Costs[I]->blockInsts(Proc.Id, BB.Id),
+                  B.Costs[I]->blockInsts(Proc.Id, BB.Id));
+        EXPECT_DOUBLE_EQ(A.Costs[I]->blockCycles(Proc.Id, BB.Id, 0, 1),
+                         B.Costs[I]->blockCycles(Proc.Id, BB.Id, 0, 1));
+      }
+    EXPECT_EQ(A.Flats[I]->numBlocks(), B.Flats[I]->numBlocks());
+    EXPECT_EQ(A.Flats[I]->chainRecordCount(), B.Flats[I]->chainRecordCount());
+  }
+}
+
+/// Asserts two run results are bit-identical (doubles compared exactly).
+void expectRunsIdentical(const RunResult &A, const RunResult &B) {
+  EXPECT_EQ(A.InstructionsRetired, B.InstructionsRetired);
+  EXPECT_EQ(A.TotalSwitches, B.TotalSwitches);
+  EXPECT_EQ(A.TotalMarks, B.TotalMarks);
+  EXPECT_EQ(A.CounterWaits, B.CounterWaits);
+  EXPECT_DOUBLE_EQ(A.TotalOverheadCycles, B.TotalOverheadCycles);
+  EXPECT_DOUBLE_EQ(A.TotalCycles, B.TotalCycles);
+  ASSERT_EQ(A.Completed.size(), B.Completed.size());
+  for (size_t I = 0; I < A.Completed.size(); ++I) {
+    EXPECT_EQ(A.Completed[I].Bench, B.Completed[I].Bench);
+    EXPECT_EQ(A.Completed[I].Slot, B.Completed[I].Slot);
+    EXPECT_DOUBLE_EQ(A.Completed[I].Arrival, B.Completed[I].Arrival);
+    EXPECT_DOUBLE_EQ(A.Completed[I].Completion, B.Completed[I].Completion);
+    EXPECT_DOUBLE_EQ(A.Completed[I].Stats.CyclesConsumed,
+                     B.Completed[I].Stats.CyclesConsumed);
+    EXPECT_EQ(A.Completed[I].Stats.CoreSwitches,
+              B.Completed[I].Stats.CoreSwitches);
+    EXPECT_EQ(A.Completed[I].Stats.MarksFired,
+              B.Completed[I].Stats.MarksFired);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parallel prepareSuite determinism
+//===----------------------------------------------------------------------===//
+
+// prepareSuite fans out per program; a single-thread pool (what
+// PBT_THREADS=1 pins the global pool to) must produce the same suite,
+// bit for bit, as a many-thread pool.
+TEST(PrepareSuiteParallel, BitIdenticalToSerialOnRandomPrograms) {
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  ThreadPool Serial(1);
+  ThreadPool Many(8);
+  for (uint64_t Seed : {1ull, 77ull, 991ull}) {
+    std::vector<Program> Programs = randomPrograms(Seed, 6);
+    for (const TechniqueSpec &Tech :
+         {TechniqueSpec::baseline(), loopTechnique(),
+          TechniqueSpec::hassStatic()}) {
+      PreparedSuite A = prepareSuite(Programs, MC, Tech, 42, &Serial);
+      PreparedSuite B = prepareSuite(Programs, MC, Tech, 42, &Many);
+      expectSuitesIdentical(A, B);
+    }
+  }
+}
+
+TEST(PrepareSuiteParallel, StaticTypingAndErrorInjectionDeterministic) {
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  ThreadPool Serial(1);
+  ThreadPool Many(8);
+  std::vector<Program> Programs = randomPrograms(5, 8);
+  TechniqueSpec Tech = loopTechnique();
+  Tech.UseStaticTyping = true;
+  Tech.TypingError = 0.2;
+  PreparedSuite A = prepareSuite(Programs, MC, Tech, 7, &Serial);
+  PreparedSuite B = prepareSuite(Programs, MC, Tech, 7, &Many);
+  expectSuitesIdentical(A, B);
+}
+
+TEST(PrepareSuiteParallel, DownstreamRunResultsBitIdentical) {
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  ThreadPool Serial(1);
+  ThreadPool Many(8);
+  std::vector<Program> Programs = randomPrograms(13, 5);
+  PreparedSuite A = prepareSuite(Programs, MC, loopTechnique(), 42, &Serial);
+  PreparedSuite B = prepareSuite(Programs, MC, loopTechnique(), 42, &Many);
+  Workload W = Workload::random(4, 64, Programs.size(), 3);
+  RunResult RA = runWorkload(A, W, MC, SimConfig(), 20);
+  RunResult RB = runWorkload(B, W, MC, SimConfig(), 20);
+  expectRunsIdentical(RA, RB);
+}
+
+//===----------------------------------------------------------------------===//
+// SuiteCache
+//===----------------------------------------------------------------------===//
+
+TEST(SuiteCacheTest, TunerOnlyVariationHitsCache) {
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  SuiteCache Cache;
+
+  PreparedSuite First = Cache.get(Programs, MC, loopTechnique(0.1));
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 0u);
+
+  // Same preparation, different tuner: served from cache, tuner honored.
+  PreparedSuite Second = Cache.get(Programs, MC, loopTechnique(0.4));
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(Second.Tuner.IpcDelta, 0.4);
+  EXPECT_DOUBLE_EQ(First.Tuner.IpcDelta, 0.1);
+  // The heavy artifacts are shared, not rebuilt.
+  ASSERT_EQ(First.Images.size(), Second.Images.size());
+  for (size_t I = 0; I < First.Images.size(); ++I) {
+    EXPECT_EQ(First.Images[I].get(), Second.Images[I].get());
+    EXPECT_EQ(First.Flats[I].get(), Second.Flats[I].get());
+  }
+
+  // A different transition is a different preparation.
+  TechniqueSpec BB = loopTechnique();
+  BB.Transition.Strat = Strategy::BasicBlock;
+  BB.Transition.MinSize = 15;
+  Cache.get(Programs, MC, BB);
+  EXPECT_EQ(Cache.misses(), 2u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(SuiteCacheTest, KeyCoversMachineSeedAndPreparationFields) {
+  std::vector<Program> Programs = smallSuite();
+  SuiteCache Cache;
+  Cache.get(Programs, MachineConfig::quadAsymmetric(), loopTechnique());
+  Cache.get(Programs, MachineConfig::threeCore(), loopTechnique());
+  EXPECT_EQ(Cache.misses(), 2u); // Machine differs.
+  Cache.get(Programs, MachineConfig::quadAsymmetric(), loopTechnique(), 7);
+  EXPECT_EQ(Cache.misses(), 3u); // Typing seed differs.
+  TechniqueSpec Err = loopTechnique();
+  Err.TypingError = 0.1;
+  Cache.get(Programs, MachineConfig::quadAsymmetric(), Err);
+  EXPECT_EQ(Cache.misses(), 4u); // Preparation differs.
+  EXPECT_EQ(Cache.hits(), 0u);
+  Cache.get(Programs, MachineConfig::quadAsymmetric(), loopTechnique());
+  EXPECT_EQ(Cache.hits(), 1u);
+}
+
+TEST(SuiteCacheTest, RenamedMachineStillHits) {
+  std::vector<Program> Programs = smallSuite();
+  SuiteCache Cache;
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  Cache.get(Programs, MC, loopTechnique());
+  MC.Name = "renamed"; // Display label is not part of the identity.
+  Cache.get(Programs, MC, loopTechnique());
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweeps
+//===----------------------------------------------------------------------===//
+
+// A sweep that varies only the tuner must prepare the technique images
+// exactly once — the acceptance check that cached-suite sweeps skip
+// re-preparation, observed through the cache counters.
+TEST(SweepTest, CachedSweepSkipsRePreparation) {
+  Lab L(smallSuite(), MachineConfig::quadAsymmetric());
+  SweepGrid G;
+  for (double Delta : {0.05, 0.1, 0.2, 0.4})
+    G.Techniques.push_back(loopTechnique(Delta));
+  G.Workloads = {{/*Slots=*/4, /*Horizon=*/20, /*Seed=*/5, /*JobsPerSlot=*/64}};
+  SweepResult R = runSweep(L, G);
+  ASSERT_EQ(R.Cells.size(), 4u);
+  // One preparation for the shared Loop[45] images, one for the baseline:
+  // 2 misses; the remaining 3 technique requests all hit.
+  EXPECT_EQ(L.cache().misses(), 2u);
+  EXPECT_EQ(L.cache().hits(), 3u);
+  // The tuner still varies per cell: deltas produce different switching.
+  EXPECT_GT(R.Cells[0].Run.InstructionsRetired, 0u);
+}
+
+TEST(SweepTest, CellsBitIdenticalToDirectLabRuns) {
+  Lab L(smallSuite(), MachineConfig::quadAsymmetric());
+  SweepGrid G;
+  G.Techniques = {loopTechnique(0.2), loopTechnique(0.05)};
+  G.Workloads = {{4, 20, 5, 64}, {3, 15, 9, 64}};
+  SweepResult R = runSweep(L, G);
+  ASSERT_EQ(R.Cells.size(), 4u);
+  ASSERT_EQ(R.Baselines.size(), 2u);
+
+  Lab Fresh(smallSuite(), MachineConfig::quadAsymmetric());
+  for (const SweepCell &Cell : R.Cells) {
+    const WorkloadSpec &Spec = G.Workloads[Cell.Workload];
+    PreparedSuite Suite = Fresh.suite(G.Techniques[Cell.Technique]);
+    Workload W = Workload::random(Spec.Slots, Spec.JobsPerSlot,
+                                  Fresh.programs().size(), Spec.Seed);
+    RunResult Direct = runWorkload(Suite, W, Fresh.machine(), Fresh.sim(),
+                                   Spec.Horizon, Fresh.isolated());
+    expectRunsIdentical(Cell.Run, Direct);
+  }
+  for (size_t WIdx = 0; WIdx < G.Workloads.size(); ++WIdx) {
+    const WorkloadSpec &Spec = G.Workloads[WIdx];
+    PreparedSuite Base = Fresh.suite(TechniqueSpec::baseline());
+    Workload W = Workload::random(Spec.Slots, Spec.JobsPerSlot,
+                                  Fresh.programs().size(), Spec.Seed);
+    RunResult Direct = runWorkload(Base, W, Fresh.machine(), Fresh.sim(),
+                                   Spec.Horizon, Fresh.isolated());
+    expectRunsIdentical(R.Baselines[WIdx], Direct);
+  }
+}
+
+TEST(SweepTest, ComparisonMatchesLabCompare) {
+  Lab L(smallSuite(), MachineConfig::quadAsymmetric());
+  SweepGrid G;
+  G.Techniques = {loopTechnique()};
+  G.Workloads = {{4, 20, 5, 512}};
+  SweepResult R = runSweep(L, G);
+  Comparison FromSweep = R.comparison(R.Cells[0]);
+
+  Lab Fresh(smallSuite(), MachineConfig::quadAsymmetric());
+  Comparison Direct = Fresh.compare(loopTechnique(), 4, 20, 5);
+  EXPECT_EQ(FromSweep.Tuned.InstructionsRetired,
+            Direct.Tuned.InstructionsRetired);
+  EXPECT_EQ(FromSweep.Base.InstructionsRetired,
+            Direct.Base.InstructionsRetired);
+  EXPECT_DOUBLE_EQ(FromSweep.TunedFair.MaxStretch,
+                   Direct.TunedFair.MaxStretch);
+  EXPECT_DOUBLE_EQ(FromSweep.throughputImprovement(),
+                   Direct.throughputImprovement());
+}
+
+TEST(SweepTest, TypingSeedAxisEnumerates) {
+  Lab L(smallSuite(), MachineConfig::quadAsymmetric());
+  SweepGrid G;
+  TechniqueSpec Tech = loopTechnique();
+  Tech.UseStaticTyping = true;
+  G.Techniques = {Tech};
+  G.Workloads = {{4, 15, 5, 64}};
+  G.TypingSeeds = {42, 7, 9};
+  G.WithBaseline = false;
+  SweepResult R = runSweep(L, G);
+  ASSERT_EQ(R.Cells.size(), 3u);
+  EXPECT_TRUE(R.Baselines.empty());
+  for (uint32_t I = 0; I < 3; ++I)
+    EXPECT_EQ(R.Cells[I].TypingSeed, I);
+  EXPECT_EQ(L.cache().misses(), 3u); // One preparation per typing seed.
+}
+
+//===----------------------------------------------------------------------===//
+// Labels and config identity
+//===----------------------------------------------------------------------===//
+
+TEST(TechniqueLabels, MarkersAreUnambiguous) {
+  EXPECT_EQ(TechniqueSpec::baseline().label(), "Linux");
+  EXPECT_EQ(TechniqueSpec::hassStatic().label(), "HASS-static");
+  EXPECT_EQ(loopTechnique().label(), "Loop[45]");
+  TechniqueSpec Static = loopTechnique();
+  Static.UseStaticTyping = true;
+  EXPECT_EQ(Static.label(), "Loop[45]+static");
+  TechniqueSpec Err = loopTechnique();
+  Err.TypingError = 0.10;
+  EXPECT_EQ(Err.label(), "Loop[45]+err10%");
+  TechniqueSpec Both = Static;
+  Both.TypingError = 0.05;
+  EXPECT_EQ(Both.label(), "Loop[45]+static+err5%");
+}
+
+TEST(ConfigIdentity, EqualityAndHashing) {
+  TechniqueSpec A = loopTechnique(0.2);
+  TechniqueSpec B = loopTechnique(0.2);
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(hashValue(A), hashValue(B));
+
+  TechniqueSpec C = loopTechnique(0.15);
+  EXPECT_FALSE(A == C);          // Tuner differs...
+  EXPECT_TRUE(A.samePreparation(C)); // ...but preparation matches.
+  EXPECT_EQ(A.preparationHash(), C.preparationHash());
+
+  TechniqueSpec D = A;
+  D.TypingError = 0.1;
+  EXPECT_FALSE(A.samePreparation(D));
+  EXPECT_NE(A.preparationHash(), D.preparationHash());
+
+  EXPECT_TRUE(MachineConfig::quadAsymmetric() ==
+              MachineConfig::quadAsymmetric());
+  EXPECT_FALSE(MachineConfig::quadAsymmetric() ==
+               MachineConfig::threeCore());
+  EXPECT_EQ(hashValue(MachineConfig::quadAsymmetric()),
+            hashValue(MachineConfig::quadAsymmetric()));
+  EXPECT_NE(hashValue(MachineConfig::quadAsymmetric()),
+            hashValue(MachineConfig::octoAsymmetric()));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emitter
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, BuildsOrderedDocuments) {
+  Json Root = Json::object();
+  Root["b"] = 1;
+  Root["a"] = "x";
+  Root["nested"]["deep"] = true;
+  Root["list"].push(1);
+  Root["list"].push(2.5);
+  Root["list"].push("s");
+  EXPECT_EQ(Root.dump(0),
+            "{\"b\":1,\"a\":\"x\",\"nested\":{\"deep\":true},"
+            "\"list\":[1,2.5,\"s\"]}");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  Json J = std::string("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(J.dump(0), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonTest, NumbersRoundTrip) {
+  Json J = Json::object();
+  J["big"] = 225641552188ull;
+  J["neg"] = -42;
+  J["frac"] = 0.125;
+  EXPECT_EQ(J.dump(0), "{\"big\":225641552188,\"neg\":-42,\"frac\":0.125}");
+}

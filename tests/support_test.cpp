@@ -162,6 +162,7 @@ TEST(Table, FmtHelpers) {
 
 TEST(Env, ScaleDefaultsAndClamps) {
   unsetenv("PBT_SCALE");
+  unsetenv("PBT_BENCH_SCALE");
   EXPECT_DOUBLE_EQ(envScale(1.0), 1.0);
   setenv("PBT_SCALE", "0.5", 1);
   EXPECT_DOUBLE_EQ(envScale(), 0.5);
@@ -171,7 +172,14 @@ TEST(Env, ScaleDefaultsAndClamps) {
   EXPECT_DOUBLE_EQ(envScale(), 0.01);
   setenv("PBT_SCALE", "1000", 1);
   EXPECT_DOUBLE_EQ(envScale(), 100);
+  // PBT_BENCH_SCALE is the primary name and wins over the legacy alias.
+  setenv("PBT_BENCH_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 0.25);
+  unsetenv("PBT_BENCH_SCALE");
   unsetenv("PBT_SCALE");
+  setenv("PBT_BENCH_SCALE", "2", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 2.0);
+  unsetenv("PBT_BENCH_SCALE");
 }
 
 TEST(Env, IntParsing) {
