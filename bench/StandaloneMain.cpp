@@ -1,0 +1,19 @@
+//===- bench/StandaloneMain.cpp - main() for standalone experiments -------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+// Linked next to a single PBT_EXPERIMENT object file to produce the
+// classic one-binary-per-figure executables; runs whatever registered
+// (exactly one experiment for those targets).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Registry.h"
+
+int main() {
+  int ExitCode = 0;
+  for (const pbt::bench::Experiment &E : pbt::bench::experiments())
+    if (int Rc = E.Fn())
+      ExitCode = Rc;
+  return ExitCode;
+}

@@ -10,11 +10,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(ablation_instrumentation) {
   ExperimentHarness H("ablation_instrumentation",
                       "Sec. III: tuned vs ATOM-style instrumentation",
                       "CGO'11 Sec. III");

@@ -14,11 +14,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(ablation_scheduler_comparison) {
   ExperimentHarness H("ablation_scheduler_comparison",
                       "Related-work ablation: assignment granularity",
                       "CGO'11 Sec. V discussion");

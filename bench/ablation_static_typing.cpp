@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 #include "analysis/BlockTyping.h"
 #include "sim/CostModel.h"
@@ -16,7 +17,7 @@
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(ablation_static_typing) {
   ExperimentHarness H("ablation_static_typing",
                       "Sec. II-A3: static typing accuracy vs oracle",
                       "CGO'11 Sec. II-A3");

@@ -1,0 +1,182 @@
+//===- bench/driver.cpp - One-process experiment driver -------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs every registered experiment (all 14 fig/table/sweep/ablation
+// grids) in ONE process over shared per-machine Labs:
+//
+//  - suite preparation is deduplicated across experiments through the
+//    shared labs' SuiteCaches (e.g. the 18 paper variants are prepared
+//    once for fig3/fig4/fig8/table2 together, not once per binary);
+//  - with PBT_CACHE_DIR set, prepared suites persist on disk, so a
+//    second driver run replays the whole matrix with zero preparations;
+//  - every BENCH_<name>.json is emitted in one run, byte-identical to
+//    the standalone binaries' output (locked in by tests and CI).
+//
+// Usage:
+//   driver [--list] [--only=name1,name2]
+//
+// Environment: PBT_BENCH_SCALE scales horizons, PBT_CACHE_DIR enables
+// the persistent suite store, PBT_THREADS sizes the replay pool.
+//
+// Writes BENCH_driver.json (schema pbt-driver-v1) with per-experiment
+// exit codes and suite-cache statistics; exits non-zero when any
+// experiment failed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Registry.h"
+
+#include "exp/CacheStore.h"
+#include "exp/Harness.h"
+#include "support/Env.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+/// Splits the comma-separated --only list.
+std::vector<std::string> splitList(const char *Csv) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (const char *P = Csv;; ++P) {
+    if (*P == ',' || *P == '\0') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+      if (*P == '\0')
+        break;
+    } else {
+      Cur.push_back(*P);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool ListOnly = false;
+  std::vector<std::string> Only;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--list") == 0) {
+      ListOnly = true;
+    } else if (std::strncmp(Arg, "--only=", 7) == 0) {
+      Only = splitList(Arg + 7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: driver [--list] [--only=name1,name2]\n");
+      return 2;
+    }
+  }
+
+  // Deterministic execution order regardless of link order.
+  std::vector<Experiment> Sorted = experiments();
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Experiment &A, const Experiment &B) {
+              return std::strcmp(A.Name, B.Name) < 0;
+            });
+
+  if (ListOnly) {
+    for (const Experiment &E : Sorted)
+      std::printf("%s\n", E.Name);
+    return 0;
+  }
+
+  for (const std::string &Name : Only) {
+    bool Known = std::any_of(Sorted.begin(), Sorted.end(),
+                             [&](const Experiment &E) {
+                               return Name == E.Name;
+                             });
+    if (!Known) {
+      std::fprintf(stderr, "driver: unknown experiment '%s' "
+                           "(see --list)\n",
+                   Name.c_str());
+      return 2;
+    }
+  }
+
+  // One pool of per-machine labs for the whole run: every harness
+  // constructed by the experiment bodies resolves lab() through it, so
+  // isolated runtimes are measured once per machine and the suite
+  // caches deduplicate preparation across experiments.
+  exp::LabPool Pool;
+  exp::ExperimentHarness::setSharedLabPool(&Pool);
+  std::shared_ptr<exp::CacheStore> Store = exp::CacheStore::fromEnv();
+
+  std::printf("== experiment driver: %zu experiments, one process ==\n",
+              Only.empty() ? Sorted.size() : Only.size());
+  if (Store)
+    std::printf("persistent suite cache: %s\n", Store->dir().c_str());
+
+  Json Runs = Json::array();
+  int ExitCode = 0;
+  for (const Experiment &E : Sorted) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    std::printf("\n---- %s ----\n", E.Name);
+    int Rc = E.Fn();
+    if (Rc)
+      ExitCode = 1;
+    Json Run = Json::object();
+    Run["name"] = E.Name;
+    Run["exit_code"] = Rc;
+    Runs.push(std::move(Run));
+  }
+  exp::ExperimentHarness::setSharedLabPool(nullptr);
+
+  // Aggregate suite-cache statistics over the shared labs. store_hits
+  // counts preparations served from PBT_CACHE_DIR: a warm second run
+  // reports prepared == 0 and store_hits > 0 (asserted in CI).
+  uint64_t MemoryHits = 0;
+  uint64_t StoreHits = 0;
+  uint64_t PreparedCount = 0;
+  for (exp::Lab *L : Pool.labs()) {
+    MemoryHits += L->cache().hits();
+    StoreHits += L->cache().storeHits();
+    PreparedCount += L->cache().prepared();
+  }
+
+  Json Root = Json::object();
+  Root["schema"] = "pbt-driver-v1";
+  Root["scale"] = envScale();
+  Root["cache_dir"] = Store ? Json(Store->dir()) : Json();
+  Root["experiments"] = std::move(Runs);
+  Json CacheStats = Json::object();
+  CacheStats["memory_hits"] = MemoryHits;
+  CacheStats["store_hits"] = StoreHits;
+  CacheStats["prepared"] = PreparedCount;
+  if (Store) {
+    Json StoreStats = Json::object();
+    StoreStats["hits"] = Store->hits();
+    StoreStats["misses"] = Store->misses();
+    StoreStats["rejects"] = Store->rejects();
+    StoreStats["writes"] = Store->writes();
+    CacheStats["store"] = std::move(StoreStats);
+  }
+  Root["suite_cache"] = std::move(CacheStats);
+
+  std::printf("\n== driver summary: memory_hits=%llu store_hits=%llu "
+              "prepared=%llu ==\n",
+              static_cast<unsigned long long>(MemoryHits),
+              static_cast<unsigned long long>(StoreHits),
+              static_cast<unsigned long long>(PreparedCount));
+  if (!writeJsonFile("BENCH_driver.json", Root)) {
+    std::perror("BENCH_driver.json");
+    return 1;
+  }
+  std::printf("wrote BENCH_driver.json\n");
+  return ExitCode;
+}

@@ -8,11 +8,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(ext_three_core) {
   ExperimentHarness H("ext_three_core",
                       "Sec. VII: other AMP shapes (3-core, 8-core)",
                       "CGO'11 Sec. VII");

@@ -9,11 +9,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(fig3_space_overhead) {
   ExperimentHarness H("fig3_space_overhead",
                       "Fig. 3: space overhead box plots", "CGO'11 Fig. 3");
 

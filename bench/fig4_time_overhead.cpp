@@ -9,11 +9,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(fig4_time_overhead) {
   ExperimentHarness H("fig4_time_overhead",
                       "Fig. 4: time overhead, workload size 84",
                       "CGO'11 Fig. 4");

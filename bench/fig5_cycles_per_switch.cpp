@@ -7,13 +7,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 #include <cmath>
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(fig5_cycles_per_switch) {
   ExperimentHarness H("fig5_cycles_per_switch",
                       "Fig. 5: average cycles per core switch (log scale)",
                       "CGO'11 Fig. 5");

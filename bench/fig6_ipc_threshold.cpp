@@ -10,11 +10,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(fig6_ipc_threshold) {
   ExperimentHarness H("fig6_ipc_threshold",
                       "Fig. 6: throughput vs IPC threshold (BB[15,0])",
                       "CGO'11 Fig. 6");

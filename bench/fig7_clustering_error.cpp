@@ -8,11 +8,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(fig7_clustering_error) {
   ExperimentHarness H(
       "fig7_clustering_error",
       "Fig. 7: throughput vs injected clustering error (BB[15,0])",

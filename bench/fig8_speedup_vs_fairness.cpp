@@ -8,11 +8,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(fig8_speedup_vs_fairness) {
   ExperimentHarness H("fig8_speedup_vs_fairness",
                       "Fig. 8: speedup vs fairness scatter",
                       "CGO'11 Fig. 8");

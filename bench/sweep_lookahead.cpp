@@ -7,11 +7,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(sweep_lookahead) {
   ExperimentHarness H("sweep_lookahead",
                       "Sec. IV-C2: lookahead depth sweep (BB[15,*])",
                       "CGO'11 Sec. IV-C2");

@@ -8,11 +8,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(sweep_min_size) {
   ExperimentHarness H("sweep_min_size",
                       "Sec. IV-C4: minimum section size sweep",
                       "CGO'11 Sec. IV-C4");

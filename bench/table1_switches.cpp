@@ -10,11 +10,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(table1_switches) {
   ExperimentHarness H(
       "table1_switches",
       "Table 1: switches per benchmark (Loop[45], delta 0.2)",

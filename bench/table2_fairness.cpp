@@ -9,11 +9,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Registry.h"
 
 using namespace pbt;
 using namespace pbt::bench;
 
-int main() {
+PBT_EXPERIMENT(table2_fairness) {
   ExperimentHarness H("table2_fairness",
                       "Table 2: fairness vs baseline (800 s interval)",
                       "CGO'11 Table 2");

@@ -1,0 +1,383 @@
+//===- exp/CacheStore.cpp - Persistent prepared-suite store ---------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/CacheStore.h"
+
+#include "support/Binary.h"
+#include "support/Env.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sys/stat.h>
+#include <tuple>
+
+using namespace pbt;
+using namespace pbt::exp;
+
+namespace {
+
+/// "PBTS" as a little-endian u32.
+constexpr uint32_t Magic = 0x53544250u;
+
+/// Fixed-size file header preceding the payload.
+struct Header {
+  uint64_t Key = 0;
+  uint64_t ProgramSetHash = 0;
+  uint64_t MachineHash = 0;
+  uint64_t PrepHash = 0;
+  uint64_t TypingSeed = 0;
+  uint64_t PayloadSize = 0;
+  uint64_t Checksum = 0;
+};
+
+void writeHeader(BinaryWriter &W, const Header &H) {
+  W.u32(Magic);
+  W.u32(CacheStore::FormatVersion);
+  W.u64(H.Key);
+  W.u64(H.ProgramSetHash);
+  W.u64(H.MachineHash);
+  W.u64(H.PrepHash);
+  W.u64(H.TypingSeed);
+  W.u64(H.PayloadSize);
+  W.u64(H.Checksum);
+}
+
+constexpr size_t HeaderBytes = 4 + 4 + 7 * 8;
+
+/// Reads the header; failure is latched on \p R (wrong magic or version
+/// are reported through the return value's Key == 0 sentinel-free path:
+/// the caller compares fields explicitly).
+bool readHeader(BinaryReader &R, Header &H) {
+  if (R.u32() != Magic)
+    return false;
+  if (R.u32() != CacheStore::FormatVersion)
+    return false;
+  H.Key = R.u64();
+  H.ProgramSetHash = R.u64();
+  H.MachineHash = R.u64();
+  H.PrepHash = R.u64();
+  H.TypingSeed = R.u64();
+  H.PayloadSize = R.u64();
+  H.Checksum = R.u64();
+  return !R.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// Program + marks serialization
+//===----------------------------------------------------------------------===//
+
+void writeProgram(BinaryWriter &W, const Program &Prog) {
+  W.str(Prog.Name);
+  W.u32(static_cast<uint32_t>(Prog.Procs.size()));
+  for (const Procedure &P : Prog.Procs) {
+    W.u32(P.Id);
+    W.str(P.Name);
+    W.u32(static_cast<uint32_t>(P.Blocks.size()));
+    for (const BasicBlock &BB : P.Blocks) {
+      W.u32(BB.Id);
+      W.u32(static_cast<uint32_t>(BB.Insts.size()));
+      for (const Instruction &I : BB.Insts) {
+        W.u8(static_cast<uint8_t>(I.Kind));
+        W.u8(I.SizeBytes);
+        W.i32(I.MemRef);
+        W.i32(I.Callee);
+      }
+      W.u8(static_cast<uint8_t>(BB.Term));
+      W.u32(static_cast<uint32_t>(BB.Succs.size()));
+      for (uint32_t Succ : BB.Succs)
+        W.u32(Succ);
+      W.u32(BB.TripCount);
+      W.f64(BB.TakenProb);
+      W.u32(BB.StreamWorkingSet);
+    }
+  }
+}
+
+Program readProgram(BinaryReader &R) {
+  Program Prog;
+  Prog.Name = R.str();
+  Prog.Procs.resize(R.count(1u << 20, /*ElemBytes=*/12));
+  for (Procedure &P : Prog.Procs) {
+    P.Id = R.u32();
+    P.Name = R.str();
+    P.Blocks.resize(R.count(1u << 22, /*ElemBytes=*/29));
+    for (BasicBlock &BB : P.Blocks) {
+      BB.Id = R.u32();
+      BB.Insts.resize(R.count(1u << 24, /*ElemBytes=*/10));
+      for (Instruction &I : BB.Insts) {
+        uint8_t Kind = R.u8();
+        if (Kind > static_cast<uint8_t>(InstKind::Syscall))
+          R.markFailed();
+        I.Kind = static_cast<InstKind>(Kind);
+        I.SizeBytes = R.u8();
+        I.MemRef = R.i32();
+        I.Callee = R.i32();
+      }
+      uint8_t Term = R.u8();
+      if (Term > static_cast<uint8_t>(TermKind::Ret))
+        R.markFailed();
+      BB.Term = static_cast<TermKind>(Term);
+      BB.Succs.resize(R.count(8, /*ElemBytes=*/4));
+      for (uint32_t &Succ : BB.Succs)
+        Succ = R.u32();
+      BB.TripCount = R.u32();
+      BB.TakenProb = R.f64();
+      BB.StreamWorkingSet = R.u32();
+      if (R.failed())
+        return Prog; // Stop amplifying garbage lengths.
+    }
+    if (R.failed())
+      return Prog;
+  }
+  return Prog;
+}
+
+void writeMarks(BinaryWriter &W, const std::vector<PhaseMark> &Marks) {
+  W.u32(static_cast<uint32_t>(Marks.size()));
+  for (const PhaseMark &M : Marks) {
+    W.u32(M.Proc);
+    W.u32(M.Block);
+    W.u32(M.SuccIndex);
+    W.u8(static_cast<uint8_t>(M.Point));
+    W.u32(M.PhaseType);
+  }
+}
+
+/// Reads and validates marks against \p Prog: indices in range, succ
+/// index < 2, valid anchor kind, and no duplicate anchors (the
+/// InstrumentedProgram constructor asserts these; a store file must
+/// never be able to trip them).
+std::vector<PhaseMark> readMarks(BinaryReader &R, const Program &Prog) {
+  std::vector<PhaseMark> Marks(R.count(1u << 24, /*ElemBytes=*/17));
+  std::set<std::tuple<uint32_t, uint32_t, uint8_t, uint32_t>> Anchors;
+  for (PhaseMark &M : Marks) {
+    M.Proc = R.u32();
+    M.Block = R.u32();
+    M.SuccIndex = R.u32();
+    uint8_t Point = R.u8();
+    M.PhaseType = R.u32();
+    if (R.failed())
+      return Marks;
+    if (Point > static_cast<uint8_t>(MarkPoint::CallSite) ||
+        M.Proc >= Prog.Procs.size() ||
+        M.Block >= Prog.Procs[M.Proc].Blocks.size() || M.SuccIndex >= 2) {
+      R.markFailed();
+      return Marks;
+    }
+    M.Point = static_cast<MarkPoint>(Point);
+    uint32_t Slot = M.Point == MarkPoint::CallSite ? 0 : M.SuccIndex;
+    if (!Anchors.emplace(M.Proc, M.Block, Point, Slot).second) {
+      R.markFailed();
+      return Marks;
+    }
+  }
+  return Marks;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-suite payload
+//===----------------------------------------------------------------------===//
+
+void writeSuite(BinaryWriter &W, const PreparedSuite &Suite) {
+  W.u32(static_cast<uint32_t>(Suite.Images.size()));
+  for (size_t I = 0; I < Suite.Images.size(); ++I) {
+    const InstrumentedProgram &Image = *Suite.Images[I];
+    writeProgram(W, Image.program());
+    writeMarks(W, Image.marks());
+    W.u32(Image.numTypes());
+    const MarkCostModel &Cost = Image.cost();
+    W.u32(Cost.MarkBytes);
+    W.u32(Cost.RuntimeStubBytes);
+    W.u32(Cost.MarkInsts);
+    W.u32(Cost.MonitorSetupCycles);
+    W.u32(Cost.SwitchCycles);
+    W.u64(I < Suite.SpawnAffinity.size() ? Suite.SpawnAffinity[I] : 0);
+    Suite.Costs[I]->serializeTables(W);
+    Suite.Flats[I]->serialize(W);
+  }
+}
+
+std::shared_ptr<const PreparedSuite>
+readSuite(BinaryReader &R, const MachineConfig &Machine,
+          const TechniqueSpec &Tech) {
+  auto Suite = std::make_shared<PreparedSuite>();
+  uint32_t NumPrograms = R.count(1u << 16);
+  for (uint32_t I = 0; I < NumPrograms && !R.failed(); ++I) {
+    Program Prog = readProgram(R);
+    if (R.failed() || !verify(Prog))
+      return nullptr;
+
+    MarkingResult Marking;
+    Marking.Marks = readMarks(R, Prog);
+    Marking.NumTypes = R.u32();
+    // The tuner sizes its per-phase state by numTypes() and indexes it
+    // with the firing mark's PhaseType; an out-of-range type in a store
+    // file must never reach that lookup, and an absurd NumTypes must
+    // not drive a giant per-process tuner allocation (real typings use
+    // a handful of types; 4096 is far beyond any k-means k).
+    if (Marking.NumTypes > 4096)
+      R.markFailed();
+    for (const PhaseMark &M : Marking.Marks)
+      if (M.PhaseType >= std::max(1u, Marking.NumTypes))
+        R.markFailed();
+
+    MarkCostModel Cost;
+    Cost.MarkBytes = R.u32();
+    Cost.RuntimeStubBytes = R.u32();
+    Cost.MarkInsts = R.u32();
+    Cost.MonitorSetupCycles = R.u32();
+    Cost.SwitchCycles = R.u32();
+    uint64_t Affinity = R.u64();
+    if (R.failed() || Cost != Tech.Cost)
+      return nullptr;
+
+    CostModel Tables = CostModel::deserializeTables(R, Machine, Prog);
+    if (R.failed())
+      return nullptr;
+
+    std::string Name = Prog.Name;
+    size_t BlockCount = Prog.blockCount();
+    auto Image = std::make_shared<const InstrumentedProgram>(
+        std::move(Prog), std::move(Marking), Cost);
+    auto Costs = std::make_shared<const CostModel>(std::move(Tables));
+    auto Flat = std::make_shared<const FlatImage>(
+        FlatImage::deserialize(R, Image, Costs));
+    if (R.failed() || Flat->numBlocks() != BlockCount)
+      return nullptr;
+
+    Suite->Names.push_back(std::move(Name));
+    Suite->Images.push_back(std::move(Image));
+    Suite->Costs.push_back(std::move(Costs));
+    Suite->Flats.push_back(std::move(Flat));
+    Suite->SpawnAffinity.push_back(Affinity);
+  }
+  if (R.failed() || R.remaining() != 0)
+    return nullptr;
+  return Suite;
+}
+
+/// Creates \p Dir (and parents) best-effort; existing directories are
+/// fine — a failed creation surfaces later as save() I/O failures.
+void makeDirs(const std::string &Dir) {
+  std::string Partial;
+  for (size_t I = 0; I <= Dir.size(); ++I) {
+    if (I < Dir.size() && Dir[I] != '/') {
+      Partial.push_back(Dir[I]);
+      continue;
+    }
+    if (!Partial.empty())
+      ::mkdir(Partial.c_str(), 0755);
+    if (I < Dir.size())
+      Partial.push_back('/');
+  }
+}
+
+} // namespace
+
+CacheStore::CacheStore(std::string DirIn) : Dir(std::move(DirIn)) {
+  makeDirs(Dir);
+}
+
+std::shared_ptr<CacheStore> CacheStore::fromEnv() {
+  static std::shared_ptr<CacheStore> Store = [] {
+    const char *Dir = envString("PBT_CACHE_DIR");
+    return Dir && *Dir ? std::make_shared<CacheStore>(Dir)
+                       : std::shared_ptr<CacheStore>();
+  }();
+  return Store;
+}
+
+uint64_t CacheStore::hashProgramSet(const std::vector<Program> &Programs) {
+  BinaryWriter W;
+  for (const Program &Prog : Programs)
+    writeProgram(W, Prog);
+  return fnv1a(W.buffer().data(), W.buffer().size());
+}
+
+uint64_t CacheStore::suiteKey(uint64_t ProgramSetHash,
+                              const MachineConfig &Machine,
+                              const TechniqueSpec &Tech,
+                              uint64_t TypingSeed) {
+  uint64_t Key = hashCombine(0x5B17CACE, FormatVersion);
+  Key = hashCombine(Key, ProgramSetHash);
+  Key = hashCombine(Key, hashValue(Machine));
+  Key = hashCombine(Key, Tech.preparationHash());
+  return hashCombine(Key, TypingSeed);
+}
+
+std::string CacheStore::pathFor(uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "suite-%016llx.pbt",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Name;
+}
+
+std::shared_ptr<const PreparedSuite>
+CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
+                 const MachineConfig &Machine, const TechniqueSpec &Tech,
+                 uint64_t TypingSeed) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Bytes;
+  if (!readFile(pathFor(Key), Bytes)) {
+    ++Misses;
+    return nullptr;
+  }
+
+  auto Reject = [&]() {
+    ++Misses;
+    ++Rejects;
+    return nullptr;
+  };
+
+  BinaryReader R(Bytes);
+  Header H;
+  if (!readHeader(R, H))
+    return Reject();
+  // The header must describe exactly the requested preparation: key,
+  // program set, machine, preparation identity, and typing seed.
+  if (H.Key != Key || H.ProgramSetHash != ProgramSetHash ||
+      H.MachineHash != hashValue(Machine) ||
+      H.PrepHash != Tech.preparationHash() || H.TypingSeed != TypingSeed)
+    return Reject();
+  if (H.PayloadSize != Bytes.size() - HeaderBytes)
+    return Reject(); // Truncated or padded file.
+  if (H.Checksum != fnv1a(Bytes.data() + HeaderBytes, H.PayloadSize))
+    return Reject(); // Bit rot within the payload.
+
+  BinaryReader Payload(Bytes.data() + HeaderBytes, H.PayloadSize);
+  std::shared_ptr<const PreparedSuite> Suite =
+      readSuite(Payload, Machine, Tech);
+  if (!Suite)
+    return Reject();
+  ++Hits;
+  return Suite;
+}
+
+bool CacheStore::save(uint64_t Key, uint64_t ProgramSetHash,
+                      const MachineConfig &Machine, const TechniqueSpec &Tech,
+                      uint64_t TypingSeed, const PreparedSuite &Suite) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  BinaryWriter Payload;
+  writeSuite(Payload, Suite);
+
+  Header H;
+  H.Key = Key;
+  H.ProgramSetHash = ProgramSetHash;
+  H.MachineHash = hashValue(Machine);
+  H.PrepHash = Tech.preparationHash();
+  H.TypingSeed = TypingSeed;
+  H.PayloadSize = Payload.buffer().size();
+  H.Checksum = fnv1a(Payload.buffer().data(), Payload.buffer().size());
+
+  BinaryWriter File;
+  writeHeader(File, H);
+  if (!writeFileAtomic(pathFor(Key), File.buffer() + Payload.buffer()))
+    return false;
+  ++Writes;
+  return true;
+}

@@ -1,0 +1,122 @@
+//===- exp/CacheStore.h - Persistent prepared-suite store ------*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk half of the suite cache: a content-addressed store of
+/// prepared suites (instrumented programs, phase marks, cost tables,
+/// flat execution images, spawn affinities) that survives across
+/// processes. A SuiteCache with an attached store serves misses from
+/// disk before running the static pipeline, so a second run of any
+/// experiment — or the one-process bench/driver — skips every
+/// preparation it has seen before.
+///
+/// **Addressing.** Files are keyed by a 64-bit content hash of
+/// everything preparation depends on: the program set (full IR content),
+/// the machine (structural fields, name excluded), the technique's
+/// preparation identity (`TechniqueSpec::preparationHash`, tuner
+/// excluded — the same relation the in-memory SuiteCache keys on), the
+/// typing seed, and the format version. One store directory can thus be
+/// shared by labs with different program sets and machines.
+///
+/// **Format** (`pbt-suite-v1`, documented field by field in
+/// docs/BENCH_SCHEMA.md): a fixed header — magic `PBTS`, format
+/// version, key, the three key components, payload length, FNV-1a
+/// payload checksum — followed by the serialized suite. Doubles are
+/// stored by bit pattern, so a loaded suite is bit-identical to the
+/// freshly prepared one (proven in tests/exp_test.cpp). Any mismatch —
+/// wrong magic, wrong version, wrong key, truncation, checksum failure,
+/// or out-of-range indices in the decoded structures — rejects the file
+/// and counts as a plain miss; writes are atomic (temp file + rename),
+/// so readers never observe partial files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_EXP_CACHESTORE_H
+#define PBT_EXP_CACHESTORE_H
+
+#include "workload/Runner.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace exp {
+
+/// Content-addressed on-disk store of serialized PreparedSuites.
+class CacheStore {
+public:
+  /// On-disk format version; bumped whenever the binary layout changes.
+  /// Part of the file header AND the key hash, so a version bump
+  /// invalidates old entries without ever misreading them.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Opens (creating if needed) the store directory \p Dir.
+  explicit CacheStore(std::string Dir);
+
+  /// The process-wide store configured by the `PBT_CACHE_DIR`
+  /// environment variable, created on first use; nullptr when the
+  /// variable is unset (persistence disabled).
+  static std::shared_ptr<CacheStore> fromEnv();
+
+  /// Content hash of a whole program set (every instruction of every
+  /// block); the program-set component of suite keys.
+  static uint64_t hashProgramSet(const std::vector<Program> &Programs);
+
+  /// The store key for (\p ProgramSetHash, \p Machine, \p Tech,
+  /// \p TypingSeed). Uses Tech's preparation identity only (tuner
+  /// excluded), mirroring SuiteCache's in-memory key relation.
+  static uint64_t suiteKey(uint64_t ProgramSetHash,
+                           const MachineConfig &Machine,
+                           const TechniqueSpec &Tech, uint64_t TypingSeed);
+
+  /// Loads the suite stored under \p Key, verifying the header against
+  /// the request's key components and the payload against its checksum.
+  /// Returns nullptr on miss or on any rejection (corrupt, truncated,
+  /// version or key mismatch). The returned suite carries a
+  /// default-constructed TunerConfig; callers stamp the requested tuner
+  /// (as SuiteCache does for in-memory hits).
+  std::shared_ptr<const PreparedSuite>
+  load(uint64_t Key, uint64_t ProgramSetHash, const MachineConfig &Machine,
+       const TechniqueSpec &Tech, uint64_t TypingSeed);
+
+  /// Serializes \p Suite under \p Key (atomic write). Returns false on
+  /// I/O failure. An existing entry is replaced — by construction with
+  /// identical content, so this also self-heals corrupted files.
+  bool save(uint64_t Key, uint64_t ProgramSetHash,
+            const MachineConfig &Machine, const TechniqueSpec &Tech,
+            uint64_t TypingSeed, const PreparedSuite &Suite);
+
+  /// The file path entries for \p Key live at.
+  std::string pathFor(uint64_t Key) const;
+
+  const std::string &dir() const { return Dir; }
+
+  /// Suites served from disk.
+  uint64_t hits() const { return Hits; }
+  /// Requests with no usable entry on disk (absent file only).
+  uint64_t misses() const { return Misses; }
+  /// Files present but rejected (corruption, truncation, version or key
+  /// mismatch); every reject is also counted as a miss.
+  uint64_t rejects() const { return Rejects; }
+  /// Entries written by save().
+  uint64_t writes() const { return Writes; }
+
+private:
+  std::string Dir;
+  mutable std::mutex Mutex;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Rejects = 0;
+  uint64_t Writes = 0;
+};
+
+} // namespace exp
+} // namespace pbt
+
+#endif // PBT_EXP_CACHESTORE_H

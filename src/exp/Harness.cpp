@@ -7,11 +7,37 @@
 #include "exp/Harness.h"
 
 #include "support/Env.h"
+#include "support/Hashing.h"
 
 #include <cstdio>
+#include <set>
 
 using namespace pbt;
 using namespace pbt::exp;
+
+Lab &LabPool::lab(const MachineConfig &MachineCfg) {
+  for (auto &Entry : Labs)
+    if (Entry.first == MachineCfg && Entry.first.Name == MachineCfg.Name)
+      return *Entry.second;
+  Labs.emplace_back(MachineCfg, std::make_unique<Lab>(MachineCfg));
+  return *Labs.back().second;
+}
+
+std::vector<Lab *> LabPool::labs() {
+  std::vector<Lab *> Out;
+  Out.reserve(Labs.size());
+  for (auto &Entry : Labs)
+    Out.push_back(Entry.second.get());
+  return Out;
+}
+
+namespace {
+/// Installed by bench/driver (see setSharedLabPool); null means every
+/// harness uses its own pool.
+LabPool *SharedLabs = nullptr;
+} // namespace
+
+void ExperimentHarness::setSharedLabPool(LabPool *Pool) { SharedLabs = Pool; }
 
 ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
                                      std::string PaperRef)
@@ -19,7 +45,10 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
   std::printf("== %s ==\n(reproduces %s; PBT_BENCH_SCALE=%.2f scales the "
               "simulated horizon)\n\n",
               Title.c_str(), PaperRef.c_str(), Scale);
-  Root["schema"] = "pbt-bench-v1";
+  // v2: sweeps[].suite_cache {hits,misses} (live, warm-state-dependent
+  // counters) replaced by the grid-pure distinct_preparations — see
+  // docs/BENCH_SCHEMA.md.
+  Root["schema"] = "pbt-bench-v2";
   Root["bench"] = Name;
   Root["title"] = std::move(Title);
   Root["paper_ref"] = std::move(PaperRef);
@@ -27,11 +56,7 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
 }
 
 Lab &ExperimentHarness::lab(const MachineConfig &MachineCfg) {
-  for (auto &Entry : Labs)
-    if (Entry.first == MachineCfg && Entry.first.Name == MachineCfg.Name)
-      return *Entry.second;
-  Labs.emplace_back(MachineCfg, std::make_unique<Lab>(MachineCfg));
-  return *Labs.back().second;
+  return (SharedLabs ? *SharedLabs : OwnLabs).lab(MachineCfg);
 }
 
 Lab &ExperimentHarness::customLab(std::vector<Program> Programs,
@@ -115,14 +140,27 @@ SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
     }
     Cells.push(std::move(C));
   }
-  Json CacheStats = Json::object();
-  CacheStats["hits"] = L.cache().hits();
-  CacheStats["misses"] = L.cache().misses();
+
+  // How many static-pipeline runs this grid needs on a cold cache: the
+  // distinct (preparation, typing seed) pairs it references, plus the
+  // baseline — always prepared, since runSweep measures isolated
+  // runtimes through the cache even for WithBaseline = false grids. A
+  // pure function of the grid — unlike raw cache counters it does not
+  // depend on what ran earlier in the process, so artifacts stay
+  // byte-identical between standalone binaries and the one-process
+  // driver (whose warm labs may satisfy the whole grid from cache).
+  std::set<uint64_t> Preparations;
+  for (const TechniqueSpec &Tech : Grid.Techniques)
+    for (uint64_t TypingSeed : Grid.TypingSeeds)
+      Preparations.insert(
+          hashCombine(Tech.preparationHash(), TypingSeed));
+  Preparations.insert(hashCombine(TechniqueSpec::baseline().preparationHash(),
+                                  DefaultTypingSeed));
 
   Json Record = Json::object();
   Record["machine"] = L.machine().Name;
   Record["cells"] = std::move(Cells);
-  Record["suite_cache"] = std::move(CacheStats);
+  Record["distinct_preparations"] = Preparations.size();
   Root["sweeps"].push(std::move(Record));
   return Result;
 }

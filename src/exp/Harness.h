@@ -40,6 +40,28 @@
 namespace pbt {
 namespace exp {
 
+/// A pool of per-machine Labs. Each ExperimentHarness owns one, but a
+/// pool can also be shared across many harnesses (see
+/// ExperimentHarness::setSharedLabPool): the one-process bench/driver
+/// installs a single pool so all registered experiments reuse the same
+/// labs — one isolated-runtime measurement and one suite cache per
+/// machine for the whole run.
+class LabPool {
+public:
+  /// The lab for \p MachineCfg, created on first use. Labs are matched
+  /// by structural equality AND Name (two structurally equal machines
+  /// with different display names get their own labs so artifacts label
+  /// them correctly). Linear scan: a process touches a handful of
+  /// machines at most.
+  Lab &lab(const MachineConfig &MachineCfg);
+
+  /// Every lab created so far (driver diagnostics).
+  std::vector<Lab *> labs();
+
+private:
+  std::vector<std::pair<MachineConfig, std::unique_ptr<Lab>>> Labs;
+};
+
 /// Shared driver for all experiment binaries: labs, sweeps, artifact.
 class ExperimentHarness {
 public:
@@ -53,8 +75,20 @@ public:
   double scale() const { return Scale; }
 
   /// The lab for \p MachineCfg, created on first use and shared (with
-  /// its suite cache) by every sweep on that machine.
+  /// its suite cache) by every sweep on that machine. Served from the
+  /// process-wide shared pool when one is installed, the harness's own
+  /// pool otherwise.
   Lab &lab(const MachineConfig &MachineCfg = MachineConfig::quadAsymmetric());
+
+  /// Installs \p Pool as the process-wide lab pool every subsequently
+  /// constructed (and existing) harness resolves lab() through; pass
+  /// nullptr to restore per-harness pools. The caller keeps ownership
+  /// and must keep \p Pool alive while installed. Experiment artifacts
+  /// are byte-identical with and without a shared pool (prepared suites
+  /// and isolated runtimes are deterministic, and artifacts carry no
+  /// warm-state-dependent fields), which is what lets bench/driver share
+  /// labs across all experiments; tests/exp_test.cpp locks this in.
+  static void setSharedLabPool(LabPool *Pool);
 
   /// Registers a custom lab (subsetted programs, ablation SimConfigs)
   /// under the harness's lifetime and returns it.
@@ -88,11 +122,8 @@ private:
   std::string Name;
   double Scale;
   Json Root;
-  /// Machine-keyed labs, matched by structural equality AND Name (two
-  /// structurally equal machines with different display names get their
-  /// own labs so artifacts label them correctly). Linear scan: an
-  /// experiment touches a handful of machines at most.
-  std::vector<std::pair<MachineConfig, std::unique_ptr<Lab>>> Labs;
+  /// The harness's own labs, used when no shared pool is installed.
+  LabPool OwnLabs;
   std::vector<std::unique_ptr<Lab>> CustomLabs;
 };
 

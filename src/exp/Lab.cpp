@@ -6,22 +6,30 @@
 
 #include "exp/Lab.h"
 
+#include "exp/CacheStore.h"
 #include "support/ThreadPool.h"
 
 using namespace pbt;
 using namespace pbt::exp;
 
 Lab::Lab(MachineConfig MachineCfgIn)
-    : MachineCfg(std::move(MachineCfgIn)), Programs(buildSuite()) {}
+    : MachineCfg(std::move(MachineCfgIn)), Programs(buildSuite()) {
+  Cache.setStore(CacheStore::fromEnv());
+}
 
 Lab::Lab(std::vector<Program> ProgramsIn, MachineConfig MachineCfgIn,
          SimConfig SimIn)
     : MachineCfg(std::move(MachineCfgIn)), Sim(SimIn),
-      Programs(std::move(ProgramsIn)) {}
+      Programs(std::move(ProgramsIn)) {
+  Cache.setStore(CacheStore::fromEnv());
+}
 
 const std::vector<double> &Lab::isolated() {
   if (!IsolatedMeasured) {
-    Isolated = isolatedRuntimes(Programs, MachineCfg, Sim);
+    // The baseline suite comes through the cache, so the measurement
+    // shares (and persists, with a store attached) the prepared images.
+    Isolated = isolatedRuntimes(suite(TechniqueSpec::baseline()),
+                                MachineCfg, Sim);
     IsolatedMeasured = true;
   }
   return Isolated;

@@ -10,7 +10,9 @@
 /// variant is prepared at most once per (preparation, typing-seed) and a
 /// lazily measured isolated-runtime vector (the t_i of the fairness
 /// metrics). Promoted out of bench/BenchCommon.h so experiment binaries,
-/// sweeps, and tests all share one implementation.
+/// sweeps, and tests all share one implementation. With `PBT_CACHE_DIR`
+/// set, the lab's cache load-throughs the process-wide persistent
+/// CacheStore, so preparations also survive across processes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,24 +29,30 @@
 namespace pbt {
 namespace exp {
 
-/// One baseline-vs-technique workload comparison.
+/// One baseline-vs-technique workload comparison: two replays of the
+/// identical queues/seeds (the paper's same-queues methodology) with
+/// their fairness metrics, plus the derived percent deltas.
 struct Comparison {
-  RunResult Base;
-  RunResult Tuned;
-  FairnessMetrics BaseFair;
-  FairnessMetrics TunedFair;
+  RunResult Base;           ///< Oblivious-baseline replay.
+  RunResult Tuned;          ///< Technique replay of the same queues.
+  FairnessMetrics BaseFair; ///< Fairness metrics of Base.
+  FairnessMetrics TunedFair; ///< Fairness metrics of Tuned.
 
+  /// Throughput improvement of Tuned over Base, in percent.
   double throughputImprovement() const {
     return percentIncrease(static_cast<double>(Base.InstructionsRetired),
                            static_cast<double>(Tuned.InstructionsRetired));
   }
+  /// Decrease in average process time (the paper's "speedup"), percent.
   double avgTimeDecrease() const {
     return percentDecrease(BaseFair.AvgProcessTime,
                            TunedFair.AvgProcessTime);
   }
+  /// Decrease in maximum flow time (fairness, Table 2), percent.
   double maxFlowDecrease() const {
     return percentDecrease(BaseFair.MaxFlow, TunedFair.MaxFlow);
   }
+  /// Decrease in maximum stretch (fairness, Table 2), percent.
   double maxStretchDecrease() const {
     return percentDecrease(BaseFair.MaxStretch, TunedFair.MaxStretch);
   }
@@ -61,8 +69,11 @@ public:
   Lab(std::vector<Program> Programs, MachineConfig MachineCfg,
       SimConfig Sim = SimConfig());
 
+  /// The lab's (fixed) benchmark programs.
   const std::vector<Program> &programs() const { return Programs; }
+  /// The lab's machine description.
   const MachineConfig &machine() const { return MachineCfg; }
+  /// The lab's simulator configuration.
   const SimConfig &sim() const { return Sim; }
 
   /// Isolated runtime t_i per benchmark, measured on first use
@@ -71,7 +82,8 @@ public:
 
   /// The prepared suite for \p Tech, served from the cache when an
   /// equivalent preparation exists (see SuiteCache).
-  PreparedSuite suite(const TechniqueSpec &Tech, uint64_t TypingSeed = 42);
+  PreparedSuite suite(const TechniqueSpec &Tech,
+                      uint64_t TypingSeed = DefaultTypingSeed);
 
   /// Runs one workload under \p Tech (canonical 512-jobs-per-slot queues).
   RunResult run(const TechniqueSpec &Tech, uint32_t Slots, double Horizon,
@@ -102,6 +114,8 @@ public:
   /// per slot keeps every slot busy for the longest horizons used.
   Workload workload(uint32_t Slots, uint64_t Seed) const;
 
+  /// The lab's suite cache (counters are read by tests and the driver;
+  /// with `PBT_CACHE_DIR` set it load-throughs the persistent store).
   SuiteCache &cache() { return Cache; }
 
 private:

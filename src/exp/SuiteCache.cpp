@@ -6,10 +6,23 @@
 
 #include "exp/SuiteCache.h"
 
+#include "exp/CacheStore.h"
 #include "support/Hashing.h"
 
 using namespace pbt;
 using namespace pbt::exp;
+
+void SuiteCache::setStore(std::shared_ptr<CacheStore> StoreIn) {
+  Store = std::move(StoreIn);
+}
+
+uint64_t SuiteCache::programSetHash(const std::vector<Program> &Programs) {
+  if (!ProgramsHashed) {
+    ProgramsHash = CacheStore::hashProgramSet(Programs);
+    ProgramsHashed = true;
+  }
+  return ProgramsHash;
+}
 
 PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
                               const MachineConfig &Machine,
@@ -34,8 +47,29 @@ PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
   E.Tech = Tech;
   E.Machine = Machine;
   E.TypingSeed = TypingSeed;
-  E.Suite = std::make_shared<const PreparedSuite>(
-      prepareSuite(Programs, Machine, Tech, TypingSeed));
+
+  // Load-through: a memory miss consults the persistent tier before
+  // running the static pipeline; a fresh preparation is written back so
+  // later processes (or labs over the same programs) skip it.
+  uint64_t StoreKey = 0;
+  if (Store)
+    StoreKey = CacheStore::suiteKey(programSetHash(Programs), Machine, Tech,
+                                    TypingSeed);
+  if (Store) {
+    E.Suite = Store->load(StoreKey, programSetHash(Programs), Machine, Tech,
+                          TypingSeed);
+    if (E.Suite)
+      ++StoreHits;
+  }
+  if (!E.Suite) {
+    ++Prepared;
+    E.Suite = std::make_shared<const PreparedSuite>(
+        prepareSuite(Programs, Machine, Tech, TypingSeed));
+    if (Store)
+      Store->save(StoreKey, programSetHash(Programs), Machine, Tech,
+                  TypingSeed, *E.Suite);
+  }
+
   Bucket.push_back(E);
   PreparedSuite Suite = *E.Suite;
   Suite.Tuner = Tech.Tuner;
@@ -53,4 +87,6 @@ void SuiteCache::clear() {
   Buckets.clear();
   Hits = 0;
   Misses = 0;
+  StoreHits = 0;
+  Prepared = 0;
 }

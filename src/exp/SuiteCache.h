@@ -15,7 +15,12 @@
 /// prepared images and skip re-preparation entirely.
 ///
 /// One cache serves one fixed program set (it is owned by a Lab, whose
-/// programs never change); programs are therefore not part of the key.
+/// programs never change); programs are therefore not part of the
+/// in-memory key. An optional CacheStore adds a persistent disk tier:
+/// memory misses are served from disk (load-through) before falling back
+/// to the static pipeline, and fresh preparations are written back, so
+/// suites survive across processes. The disk tier keys on the program
+/// set too, so one store directory safely serves many labs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,23 +37,45 @@
 namespace pbt {
 namespace exp {
 
-/// Content-addressed cache of PreparedSuites for one program set.
+class CacheStore;
+
+/// The canonical typing seed used whenever an experiment does not vary
+/// the typing-seed axis — shared by every default argument in the
+/// experiment layer and by the harness's distinct-preparation
+/// accounting, so the sites can never drift apart.
+constexpr uint64_t DefaultTypingSeed = 42;
+
+/// Content-addressed cache of PreparedSuites for one program set, with
+/// an optional persistent disk tier (CacheStore).
 class SuiteCache {
 public:
+  /// Attaches the persistent tier \p StoreIn (nullptr detaches). Labs
+  /// attach the process-wide `PBT_CACHE_DIR` store automatically.
+  void setStore(std::shared_ptr<CacheStore> StoreIn);
+
+  /// The attached persistent tier, or nullptr.
+  const std::shared_ptr<CacheStore> &store() const { return Store; }
+
   /// Returns the suite for (\p Tech, \p Machine, \p TypingSeed),
-  /// preparing it on a miss. The returned value shares the cached
-  /// immutable images/costs/flats (cheap shared_ptr copies) but carries
-  /// \p Tech's own TunerConfig, so cache hits still honor the requested
-  /// tuner.
+  /// serving it from memory, then from the persistent store (when
+  /// attached), and only then preparing it with the static pipeline.
+  /// The returned value shares the cached immutable images/costs/flats
+  /// (cheap shared_ptr copies) but carries \p Tech's own TunerConfig,
+  /// so cache hits still honor the requested tuner.
   PreparedSuite get(const std::vector<Program> &Programs,
                     const MachineConfig &Machine, const TechniqueSpec &Tech,
-                    uint64_t TypingSeed = 42);
+                    uint64_t TypingSeed = DefaultTypingSeed);
 
-  /// Requests served without re-preparation.
+  /// Requests served from memory.
   uint64_t hits() const { return Hits; }
-  /// Requests that had to run the static pipeline.
+  /// Requests not in memory (storeHits() + prepared() of them were
+  /// served from disk / freshly prepared, respectively).
   uint64_t misses() const { return Misses; }
-  /// Distinct prepared suites currently held.
+  /// Memory misses served from the persistent store.
+  uint64_t storeHits() const { return StoreHits; }
+  /// Requests that had to run the static pipeline.
+  uint64_t prepared() const { return Prepared; }
+  /// Distinct prepared suites currently held in memory.
   size_t size() const;
 
   void clear();
@@ -57,15 +84,24 @@ private:
   struct Entry {
     TechniqueSpec Tech; ///< Tuner field is not part of the identity.
     MachineConfig Machine;
-    uint64_t TypingSeed = 42;
+    uint64_t TypingSeed = DefaultTypingSeed;
     std::shared_ptr<const PreparedSuite> Suite;
   };
+
+  /// The program-set content hash for the disk tier, computed once (the
+  /// cache serves one fixed program set for its whole life).
+  uint64_t programSetHash(const std::vector<Program> &Programs);
 
   /// Hash buckets hold entry lists so hash collisions fall back to exact
   /// comparison (samePreparation + machine equality + seed).
   std::unordered_map<uint64_t, std::vector<Entry>> Buckets;
+  std::shared_ptr<CacheStore> Store;
+  uint64_t ProgramsHash = 0;
+  bool ProgramsHashed = false;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t StoreHits = 0;
+  uint64_t Prepared = 0;
 };
 
 } // namespace exp

@@ -31,11 +31,14 @@ namespace exp {
 
 /// One workload shape: how many slots, how long, which queues.
 struct WorkloadSpec {
+  /// Concurrent job slots (the paper's "workload size").
   uint32_t Slots = 18;
   /// Simulated horizon in seconds (callers pre-scale by envScale()).
   double Horizon = 400;
   /// Workload-generation seed (queues + per-job branch seeds).
   uint64_t Seed = 21;
+  /// Queue depth per slot; 512 keeps every slot busy for the longest
+  /// horizons used.
   uint32_t JobsPerSlot = 512;
 };
 
@@ -60,8 +63,8 @@ struct SweepCell {
   uint32_t Technique = 0;  ///< Index into SweepGrid::Techniques.
   uint32_t Workload = 0;   ///< Index into SweepGrid::Workloads.
   uint32_t TypingSeed = 0; ///< Index into SweepGrid::TypingSeeds.
-  RunResult Run;
-  FairnessMetrics Fair;
+  RunResult Run;           ///< Canonical replay result of this cell.
+  FairnessMetrics Fair;    ///< Fairness metrics over Run's completions.
 };
 
 /// All cells of one grid on one machine, in technique-major order

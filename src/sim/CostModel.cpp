@@ -68,6 +68,83 @@ CostModel::CostModel(const Program &Prog, const MachineConfig &MachineIn,
   }
 }
 
+void CostModel::serializeTables(BinaryWriter &W) const {
+  W.u32(MaxSharers);
+  W.u32(static_cast<uint32_t>(ProcOffset.size()));
+  for (uint32_t Offset : ProcOffset)
+    W.u32(Offset);
+  W.u32(static_cast<uint32_t>(Entries.size()));
+  for (const BlockEntry &E : Entries) {
+    W.u32(E.Insts);
+    W.u32(E.MemOps);
+    W.f64(E.BaseCycles);
+    W.u32(static_cast<uint32_t>(E.StallCycles.size()));
+    for (const std::vector<double> &Row : E.StallCycles) {
+      W.u32(static_cast<uint32_t>(Row.size()));
+      for (double Stall : Row)
+        W.f64(Stall);
+    }
+  }
+}
+
+CostModel CostModel::deserializeTables(BinaryReader &R,
+                                       const MachineConfig &Machine,
+                                       const Program &Prog) {
+  CostModel M;
+  M.Machine = Machine;
+  M.MaxSharers = R.u32();
+  M.ProcOffset.resize(R.count(1u << 24, /*ElemBytes=*/4));
+  for (uint32_t &Offset : M.ProcOffset)
+    Offset = R.u32();
+  M.Entries.resize(R.count(1u << 24, /*ElemBytes=*/20));
+  for (BlockEntry &E : M.Entries) {
+    E.Insts = R.u32();
+    E.MemOps = R.u32();
+    E.BaseCycles = R.f64();
+    E.StallCycles.resize(R.count(256, /*ElemBytes=*/4));
+    for (std::vector<double> &Row : E.StallCycles) {
+      Row.resize(R.count(256, /*ElemBytes=*/8));
+      for (double &Stall : Row)
+        Stall = R.f64();
+    }
+    if (R.failed())
+      break; // Bail before resizing from further garbage lengths.
+  }
+  // The tables must agree with the machine and program they claim to
+  // describe: sharer depth, stall-matrix shape, the canonical offset
+  // layout, and per-block instruction counts.
+  if (M.MaxSharers != std::max(1u, Machine.maxGroupSize()))
+    R.markFailed();
+  for (const BlockEntry &E : M.Entries) {
+    if (E.StallCycles.size() != Machine.numCoreTypes())
+      R.markFailed();
+    for (const std::vector<double> &Row : E.StallCycles)
+      if (Row.size() != M.MaxSharers)
+        R.markFailed();
+    if (R.failed())
+      break;
+  }
+  if (M.ProcOffset.size() != Prog.Procs.size() ||
+      M.Entries.size() != Prog.blockCount())
+    R.markFailed();
+  if (!R.failed()) {
+    uint32_t Offset = 0;
+    for (const Procedure &P : Prog.Procs) {
+      if (M.ProcOffset[P.Id] != Offset) {
+        R.markFailed();
+        break;
+      }
+      for (const BasicBlock &BB : P.Blocks)
+        if (M.Entries[Offset + BB.Id].Insts != BB.size()) {
+          R.markFailed();
+          break;
+        }
+      Offset += static_cast<uint32_t>(P.Blocks.size());
+    }
+  }
+  return M;
+}
+
 double CostModel::blockCycles(uint32_t Proc, uint32_t Block,
                               uint32_t CoreType, uint32_t Sharers) const {
   const BlockEntry &E = entry(Proc, Block);

@@ -29,6 +29,7 @@
 #include "analysis/ReuseDistance.h"
 #include "ir/Program.h"
 #include "sim/MachineConfig.h"
+#include "support/Binary.h"
 
 #include <cstdint>
 #include <vector>
@@ -90,7 +91,25 @@ public:
   /// biggest L2 group); blockCycles clamps Sharers to [1, maxSharers()].
   uint32_t maxSharers() const { return MaxSharers; }
 
+  /// Serializes the computed tables (offsets, per-block entries, stall
+  /// matrices) to \p W. Doubles are written by bit pattern, so a
+  /// deserialized model answers blockCycles bit-identically. The machine
+  /// is NOT serialized — it is part of the cache key and is re-supplied
+  /// at deserialization (see exp/CacheStore).
+  void serializeTables(BinaryWriter &W) const;
+
+  /// Rebuilds a model from tables written by serializeTables(), attached
+  /// to \p Machine and validated against \p Prog (offset layout, entry
+  /// count, per-block instruction counts, stall-matrix shape). On
+  /// malformed input, marks \p R failed and returns a model that must be
+  /// discarded.
+  static CostModel deserializeTables(BinaryReader &R,
+                                     const MachineConfig &Machine,
+                                     const Program &Prog);
+
 private:
+  CostModel() = default; ///< Shell for deserializeTables().
+
   struct BlockEntry {
     uint32_t Insts = 0;
     uint32_t MemOps = 0;

@@ -38,6 +38,7 @@
 
 #include "core/Instrument.h"
 #include "sim/CostModel.h"
+#include "support/Binary.h"
 
 #include <cstdint>
 #include <memory>
@@ -154,7 +155,23 @@ public:
   const InstrumentedProgram &program() const { return *IProg; }
   const CostModel &cost() const { return *Cost; }
 
+  /// Serializes the image's numeric payload — offsets, block records,
+  /// cycle tables (by bit pattern), chain summaries — to \p W. The
+  /// backing program and cost model are serialized separately by the
+  /// caller (exp/CacheStore) and re-attached at deserialization.
+  void serialize(BinaryWriter &W) const;
+
+  /// Rebuilds an image from serialize() output, re-attached to \p IProg
+  /// and \p Cost. Bit-identical to the image originally serialized. On
+  /// malformed input, marks \p R failed and returns an image that must
+  /// be discarded.
+  static FlatImage deserialize(BinaryReader &R,
+                               std::shared_ptr<const InstrumentedProgram> IProg,
+                               std::shared_ptr<const CostModel> Cost);
+
 private:
+  FlatImage() = default; ///< Shell for deserialize().
+
   void buildChains();
 
   std::shared_ptr<const InstrumentedProgram> IProg;

@@ -1,0 +1,52 @@
+//===- support/Binary.cpp - Bit-exact binary serialization ----------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Binary.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+using namespace pbt;
+
+bool pbt::writeFileAtomic(const std::string &Path, const std::string &Data) {
+  // The temporary lives in the same directory so the rename is atomic
+  // (never crosses a filesystem boundary); the pid keeps concurrent
+  // writers of the same path from clobbering each other's half-written
+  // bytes.
+  std::string Tmp = Path + ".tmp." + std::to_string(getpid());
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = Data.empty() ? 0 : std::fwrite(Data.data(), 1, Data.size(), F);
+  // fclose unconditionally (no short-circuit): a short write must not
+  // leak the descriptor.
+  bool Closed = std::fclose(F) == 0;
+  bool Ok = Written == Data.size() && Closed;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool pbt::readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  Out.clear();
+  char Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, Got);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}

@@ -27,6 +27,8 @@ double pbt::envScale(double Default) {
   return Value;
 }
 
+const char *pbt::envString(const char *Name) { return std::getenv(Name); }
+
 int64_t pbt::envInt(const char *Name, int64_t Default) {
   const char *Raw = std::getenv(Name);
   if (!Raw)

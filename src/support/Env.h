@@ -29,6 +29,11 @@ double envScale(double Default = 1.0);
 /// \p Default when unset or unparsable.
 int64_t envInt(const char *Name, int64_t Default);
 
+/// Returns the value of the environment variable \p Name, or nullptr
+/// when unset. (`PBT_CACHE_DIR` selects the persistent suite-cache
+/// directory; see exp/CacheStore.)
+const char *envString(const char *Name);
+
 } // namespace pbt
 
 #endif // PBT_SUPPORT_ENV_H

@@ -17,6 +17,8 @@
 #ifndef PBT_SUPPORT_HASHING_H
 #define PBT_SUPPORT_HASHING_H
 
+#include "support/Binary.h"
+
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -44,14 +46,10 @@ inline uint64_t hashDouble(double V) {
   return Bits;
 }
 
-/// FNV-1a over the bytes of \p S.
+/// FNV-1a over the bytes of \p S (delegates to the byte-level primitive
+/// in support/Binary.h).
 inline uint64_t hashString(const std::string &S) {
-  uint64_t H = 0xCBF29CE484222325ULL;
-  for (unsigned char C : S) {
-    H ^= C;
-    H *= 0x100000001B3ULL;
-  }
-  return H;
+  return fnv1a(S.data(), S.size());
 }
 
 } // namespace pbt

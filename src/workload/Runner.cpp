@@ -162,10 +162,17 @@ pbt::isolatedRuntimes(const std::vector<Program> &Programs,
                       const MachineConfig &MachineCfg, const SimConfig &Sim) {
   TechniqueSpec Base = TechniqueSpec::baseline();
   PreparedSuite Suite = prepareSuite(Programs, MachineCfg, Base);
-  std::vector<double> Times(Programs.size(), 0.0);
-  ThreadPool::global().parallelFor(Programs.size(), [&](size_t Bench) {
-    CompletedJob Job =
-        runIsolated(Suite, static_cast<uint32_t>(Bench), MachineCfg, Sim);
+  return isolatedRuntimes(Suite, MachineCfg, Sim);
+}
+
+std::vector<double> pbt::isolatedRuntimes(const PreparedSuite &BaselineSuite,
+                                          const MachineConfig &MachineCfg,
+                                          const SimConfig &Sim) {
+  std::vector<double> Times(BaselineSuite.Images.size(), 0.0);
+  ThreadPool::global().parallelFor(Times.size(), [&](size_t Bench) {
+    CompletedJob Job = runIsolated(BaselineSuite,
+                                   static_cast<uint32_t>(Bench), MachineCfg,
+                                   Sim);
     Times[Bench] = Job.Completion - Job.Arrival;
   });
   return Times;

@@ -137,6 +137,13 @@ std::vector<double> isolatedRuntimes(const std::vector<Program> &Programs,
                                      const MachineConfig &Machine,
                                      const SimConfig &Sim = SimConfig());
 
+/// isolatedRuntimes over an already prepared baseline suite (callers
+/// with a suite cache avoid re-running the static pipeline; exp::Lab
+/// uses this so isolated-runtime measurement shares cached images).
+std::vector<double> isolatedRuntimes(const PreparedSuite &BaselineSuite,
+                                     const MachineConfig &Machine,
+                                     const SimConfig &Sim = SimConfig());
+
 /// One finished job of a workload run.
 struct CompletedJob {
   uint32_t Bench = 0;

@@ -1,14 +1,19 @@
 //===- tests/exp_test.cpp - experiment harness: cache, sweeps, parallel ---===//
 
+#include "exp/CacheStore.h"
 #include "exp/Harness.h"
 #include "exp/Lab.h"
 #include "exp/SuiteCache.h"
 #include "exp/Sweep.h"
+#include "support/Binary.h"
 #include "support/Json.h"
 #include "support/Rng.h"
 #include "workload/Benchmarks.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
 
 using namespace pbt;
 using namespace pbt::exp;
@@ -246,10 +251,12 @@ TEST(SweepTest, CachedSweepSkipsRePreparation) {
   G.Workloads = {{/*Slots=*/4, /*Horizon=*/20, /*Seed=*/5, /*JobsPerSlot=*/64}};
   SweepResult R = runSweep(L, G);
   ASSERT_EQ(R.Cells.size(), 4u);
-  // One preparation for the shared Loop[45] images, one for the baseline:
-  // 2 misses; the remaining 3 technique requests all hit.
+  // One preparation for the shared Loop[45] images, one for the baseline
+  // (requested first by the isolated-runtime measurement, which also
+  // goes through the cache): 2 misses; the remaining 3 technique
+  // requests and the sweep's own baseline request all hit.
   EXPECT_EQ(L.cache().misses(), 2u);
-  EXPECT_EQ(L.cache().hits(), 3u);
+  EXPECT_EQ(L.cache().hits(), 4u);
   // The tuner still varies per cell: deltas produce different switching.
   EXPECT_GT(R.Cells[0].Run.InstructionsRetired, 0u);
 }
@@ -318,7 +325,9 @@ TEST(SweepTest, TypingSeedAxisEnumerates) {
   EXPECT_TRUE(R.Baselines.empty());
   for (uint32_t I = 0; I < 3; ++I)
     EXPECT_EQ(R.Cells[I].TypingSeed, I);
-  EXPECT_EQ(L.cache().misses(), 3u); // One preparation per typing seed.
+  // One preparation per typing seed, plus the baseline prepared for the
+  // isolated-runtime measurement (cached like any other suite).
+  EXPECT_EQ(L.cache().misses(), 4u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -394,4 +403,222 @@ TEST(JsonTest, NumbersRoundTrip) {
   J["neg"] = -42;
   J["frac"] = 0.125;
   EXPECT_EQ(J.dump(0), "{\"big\":225641552188,\"neg\":-42,\"frac\":0.125}");
+}
+
+//===----------------------------------------------------------------------===//
+// CacheStore: persistent suite cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bitwise comparison of every numeric table of two suites: flat-image
+/// cycle and chain tables compared with memcmp over the raw doubles, so
+/// round-trips are proven bit-identical, not just approximately equal.
+void expectTablesBitIdentical(const PreparedSuite &A,
+                              const PreparedSuite &B) {
+  ASSERT_EQ(A.Flats.size(), B.Flats.size());
+  for (size_t I = 0; I < A.Flats.size(); ++I) {
+    const FlatImage &FA = *A.Flats[I];
+    const FlatImage &FB = *B.Flats[I];
+    ASSERT_EQ(FA.numBlocks(), FB.numBlocks());
+    ASSERT_EQ(FA.configStride(), FB.configStride());
+    ASSERT_EQ(FA.chainRecordCount(), FB.chainRecordCount());
+    size_t CycleBytes =
+        static_cast<size_t>(FA.numBlocks()) * FA.configStride() *
+        sizeof(double);
+    EXPECT_EQ(0,
+              std::memcmp(FA.cycleTable(), FB.cycleTable(), CycleBytes));
+    size_t ChainBytes =
+        static_cast<size_t>(FA.chainRecordCount()) * FA.configStride() *
+        sizeof(double);
+    EXPECT_EQ(0, std::memcmp(FA.chainCycleTable(), FB.chainCycleTable(),
+                             ChainBytes));
+    // Block records are compared through their serialized byte streams:
+    // field-exact, without touching the structs' (indeterminate)
+    // padding bytes.
+    BinaryWriter WA, WB;
+    FA.serialize(WA);
+    FB.serialize(WB);
+    EXPECT_EQ(WA.buffer(), WB.buffer());
+  }
+}
+
+} // namespace
+
+// A suite written to the store and loaded back must be bit-identical to
+// the freshly prepared one — every mark, every cost sample, every flat
+// record and cycle-table double — and must replay workloads with
+// bit-identical results.
+TEST(CacheStoreTest, RoundTripBitIdentical) {
+  CacheStore Store("exp_test_roundtrip.cache");
+  std::vector<Program> Programs = randomPrograms(31, 5);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+
+  for (const TechniqueSpec &Tech :
+       {TechniqueSpec::baseline(), loopTechnique(),
+        TechniqueSpec::hassStatic()}) {
+    PreparedSuite Fresh = prepareSuite(Programs, MC, Tech, 42);
+    uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
+    ASSERT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42, Fresh));
+
+    std::shared_ptr<const PreparedSuite> Loaded =
+        Store.load(Key, ProgramsHash, MC, Tech, 42);
+    ASSERT_TRUE(Loaded != nullptr);
+    PreparedSuite Reloaded = *Loaded;
+    Reloaded.Tuner = Tech.Tuner; // Callers stamp the tuner, as SuiteCache does.
+
+    expectSuitesIdentical(Fresh, Reloaded);
+    expectTablesBitIdentical(Fresh, Reloaded);
+
+    Workload W = Workload::random(4, 64, Programs.size(), 9);
+    RunResult FromFresh = runWorkload(Fresh, W, MC, SimConfig(), 15);
+    RunResult FromDisk = runWorkload(Reloaded, W, MC, SimConfig(), 15);
+    expectRunsIdentical(FromFresh, FromDisk);
+  }
+  EXPECT_EQ(Store.hits(), 3u);
+  EXPECT_EQ(Store.rejects(), 0u);
+}
+
+TEST(CacheStoreTest, VersionMismatchRejected) {
+  CacheStore Store("exp_test_version.cache");
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+  uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
+  ASSERT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42,
+                         prepareSuite(Programs, MC, Tech, 42)));
+
+  // Bump the format-version field (bytes 4..7, after the magic).
+  std::string Bytes;
+  ASSERT_TRUE(readFile(Store.pathFor(Key), Bytes));
+  Bytes[4] = static_cast<char>(CacheStore::FormatVersion + 1);
+  ASSERT_TRUE(writeFileAtomic(Store.pathFor(Key), Bytes));
+
+  EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) == nullptr);
+  EXPECT_EQ(Store.rejects(), 1u);
+}
+
+TEST(CacheStoreTest, TruncatedAndCorruptFilesRejected) {
+  CacheStore Store("exp_test_corrupt.cache");
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+  uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
+  ASSERT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42,
+                         prepareSuite(Programs, MC, Tech, 42)));
+  std::string Good;
+  ASSERT_TRUE(readFile(Store.pathFor(Key), Good));
+
+  // Truncation at several depths: inside the header, at the payload
+  // boundary (the header is 64 bytes), and mid-payload.
+  for (size_t Keep : {size_t(10), size_t(64), Good.size() / 2}) {
+    ASSERT_TRUE(writeFileAtomic(Store.pathFor(Key), Good.substr(0, Keep)));
+    EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) == nullptr)
+        << "truncated to " << Keep << " bytes";
+  }
+
+  // A single flipped payload byte must fail the checksum.
+  std::string Flipped = Good;
+  Flipped[Good.size() - 7] ^= 0x20;
+  ASSERT_TRUE(writeFileAtomic(Store.pathFor(Key), Flipped));
+  EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) == nullptr);
+  EXPECT_EQ(Store.rejects(), 4u);
+
+  // The pristine bytes still load.
+  ASSERT_TRUE(writeFileAtomic(Store.pathFor(Key), Good));
+  EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) != nullptr);
+}
+
+// A SuiteCache with an attached store serves cross-"process" requests
+// (modeled as a second, cold SuiteCache over the same directory) from
+// disk without re-running the static pipeline.
+TEST(CacheStoreTest, SuiteCacheLoadThrough) {
+  auto Store = std::make_shared<CacheStore>("exp_test_loadthrough.cache");
+  // Unique technique so entries from previous test runs can't satisfy
+  // the first request.
+  TechniqueSpec Tech = loopTechnique(0.2);
+  Tech.Transition.MinSize = 44;
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+  std::remove(
+      Store->pathFor(CacheStore::suiteKey(ProgramsHash, MC, Tech, 42))
+          .c_str());
+
+  SuiteCache First;
+  First.setStore(Store);
+  PreparedSuite Prepared = First.get(Programs, MC, Tech);
+  EXPECT_EQ(First.prepared(), 1u);
+  EXPECT_EQ(First.storeHits(), 0u);
+
+  SuiteCache Second;
+  Second.setStore(Store);
+  PreparedSuite FromDisk = Second.get(Programs, MC, Tech);
+  EXPECT_EQ(Second.misses(), 1u);   // Not in Second's memory...
+  EXPECT_EQ(Second.storeHits(), 1u); // ...but served from disk...
+  EXPECT_EQ(Second.prepared(), 0u);  // ...with no pipeline run.
+  expectSuitesIdentical(Prepared, FromDisk);
+  expectTablesBitIdentical(Prepared, FromDisk);
+
+  // And a repeat request is a plain memory hit: the disk tier is only
+  // consulted on memory misses.
+  Second.get(Programs, MC, Tech);
+  EXPECT_EQ(Second.hits(), 1u);
+  EXPECT_EQ(Second.storeHits(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared lab pool: the driver's byte-identity contract
+//===----------------------------------------------------------------------===//
+
+// The one-process driver shares labs across experiments, so a grid may
+// be satisfied entirely from another experiment's warm caches. The
+// artifact must not notice: this runs the same "experiment" cold (own
+// labs) and warm (shared pool, pre-warmed by a different grid) and
+// requires byte-identical artifact JSON — the in-process version of the
+// driver-vs-standalone BENCH_*.json comparison CI performs on the real
+// binaries.
+TEST(HarnessTest, DriverSharedLabsByteIdenticalArtifacts) {
+  auto RunExperiment = [] {
+    ExperimentHarness H("pool_identity", "shared-pool identity check",
+                        "none");
+    SweepGrid G;
+    G.Techniques = {loopTechnique(0.2), loopTechnique(0.05)};
+    G.Workloads = {{/*Slots=*/4, /*Horizon=*/10, /*Seed=*/5,
+                    /*JobsPerSlot=*/64}};
+    SweepResult R = H.sweep(H.lab(), G);
+    Table T({"technique", "throughput %"});
+    for (const SweepCell &Cell : R.Cells)
+      T.addRow({G.Techniques[Cell.Technique].label(),
+                Table::fmt(R.throughputImprovement(Cell), 2)});
+    H.table(T);
+    return H.json().dump();
+  };
+
+  std::string Cold = RunExperiment();
+
+  LabPool Pool;
+  ExperimentHarness::setSharedLabPool(&Pool);
+  {
+    // A different experiment warms the shared labs first (baseline,
+    // isolated runtimes, and one of the techniques above).
+    ExperimentHarness Warmup("pool_warmup", "warmup", "none");
+    SweepGrid G;
+    G.Techniques = {loopTechnique(0.2)};
+    G.Workloads = {{4, 10, 7, 64}};
+    Warmup.sweep(Warmup.lab(), G);
+  }
+  std::string Warm = RunExperiment();
+  ExperimentHarness::setSharedLabPool(nullptr);
+
+  EXPECT_EQ(Cold, Warm);
+
+  // The warm run really did reuse the pool's caches.
+  uint64_t PoolHits = 0;
+  for (Lab *L : Pool.labs())
+    PoolHits += L->cache().hits();
+  EXPECT_GT(PoolHits, 0u);
 }
