@@ -16,7 +16,10 @@
 //    the standalone binaries' output (locked in by tests and CI).
 //
 // Usage:
-//   driver [--list] [--only=name1,name2]
+//   driver [--list] [--only=name1,name2] [--clean-cache]
+//
+// --clean-cache deletes PBT_CACHE_DIR entries written by other format
+// versions (they can never load again) and exits.
 //
 // Environment: PBT_BENCH_SCALE scales horizons, PBT_CACHE_DIR enables
 // the persistent suite store, PBT_THREADS sizes the replay pool.
@@ -67,18 +70,36 @@ std::vector<std::string> splitList(const char *Csv) {
 
 int main(int Argc, char **Argv) {
   bool ListOnly = false;
+  bool CleanCache = false;
   std::vector<std::string> Only;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strcmp(Arg, "--list") == 0) {
       ListOnly = true;
+    } else if (std::strcmp(Arg, "--clean-cache") == 0) {
+      CleanCache = true;
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       Only = splitList(Arg + 7);
     } else {
-      std::fprintf(stderr,
-                   "usage: driver [--list] [--only=name1,name2]\n");
+      std::fprintf(stderr, "usage: driver [--list] [--only=name1,name2] "
+                           "[--clean-cache]\n");
       return 2;
     }
+  }
+
+  if (CleanCache) {
+    std::shared_ptr<exp::CacheStore> Store = exp::CacheStore::fromEnv();
+    if (!Store) {
+      std::fprintf(stderr,
+                   "driver: --clean-cache needs PBT_CACHE_DIR set\n");
+      return 2;
+    }
+    size_t Removed = Store->cleanMismatchedVersions();
+    std::printf("cleaned %s: removed %zu version-mismatched entr%s "
+                "(current format v%u)\n",
+                Store->dir().c_str(), Removed, Removed == 1 ? "y" : "ies",
+                exp::CacheStore::FormatVersion);
+    return 0;
   }
 
   // Deterministic execution order regardless of link order.

@@ -54,6 +54,16 @@ int main(int argc, char **argv) {
               "oracle on %.1f%% of blocks\n\n",
               100.0 * Static.disagreement(Oracle));
 
+  // First-order per-procedure summaries feed the loop summarizer's
+  // inter-procedural weights (call nodes index these by callee id;
+  // passing empty vectors here would read out of bounds).
+  std::vector<uint32_t> ProcType(Prog.Procs.size());
+  std::vector<double> ProcWeight(Prog.Procs.size());
+  for (const Procedure &P : Prog.Procs) {
+    ProcType[P.Id] = Oracle.TypeOf[P.Id][0];
+    ProcWeight[P.Id] = static_cast<double>(P.instructionCount());
+  }
+
   // Detailed walk of the executed procedures (main + direct callees).
   for (size_t ProcId = 0; ProcId < Prog.Procs.size() && ProcId < 4;
        ++ProcId) {
@@ -64,7 +74,7 @@ int main(int argc, char **argv) {
     IntervalPartition Intervals = computeIntervals(P);
     LoopInfo Loops = computeLoops(P);
     auto LoopSums = summarizeLoops(P, Loops, Oracle.TypeOf[P.Id],
-                                   Oracle.NumTypes, {}, {});
+                                   Oracle.NumTypes, ProcWeight, ProcType);
     for (const BasicBlock &BB : P.Blocks) {
       std::printf("  bb%-3u %4zu insts  type=%u (kmeans %u)  "
                   "interval=%u  loop-depth=%u  ipc %.2f/%.2f\n",

@@ -12,6 +12,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <dirent.h>
 #include <set>
 #include <sys/stat.h>
 #include <tuple>
@@ -196,7 +198,6 @@ void writeSuite(BinaryWriter &W, const PreparedSuite &Suite) {
     W.u32(Cost.MarkInsts);
     W.u32(Cost.MonitorSetupCycles);
     W.u32(Cost.SwitchCycles);
-    W.u64(I < Suite.SpawnAffinity.size() ? Suite.SpawnAffinity[I] : 0);
     Suite.Costs[I]->serializeTables(W);
     Suite.Flats[I]->serialize(W);
   }
@@ -232,7 +233,6 @@ readSuite(BinaryReader &R, const MachineConfig &Machine,
     Cost.MarkInsts = R.u32();
     Cost.MonitorSetupCycles = R.u32();
     Cost.SwitchCycles = R.u32();
-    uint64_t Affinity = R.u64();
     if (R.failed() || Cost != Tech.Cost)
       return nullptr;
 
@@ -254,7 +254,6 @@ readSuite(BinaryReader &R, const MachineConfig &Machine,
     Suite->Images.push_back(std::move(Image));
     Suite->Costs.push_back(std::move(Costs));
     Suite->Flats.push_back(std::move(Flat));
-    Suite->SpawnAffinity.push_back(Affinity);
   }
   if (R.failed() || R.remaining() != 0)
     return nullptr;
@@ -315,6 +314,44 @@ std::string CacheStore::pathFor(uint64_t Key) const {
   std::snprintf(Name, sizeof(Name), "suite-%016llx.pbt",
                 static_cast<unsigned long long>(Key));
   return Dir + "/" + Name;
+}
+
+size_t CacheStore::cleanMismatchedVersions() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Removed = 0;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  std::vector<std::string> Stale;
+  while (const dirent *Entry = ::readdir(D)) {
+    const char *Name = Entry->d_name;
+    size_t Len = std::strlen(Name);
+    // Only files this store wrote: "suite-<16 hex>.pbt".
+    if (Len != 26 || std::strncmp(Name, "suite-", 6) != 0 ||
+        std::strcmp(Name + Len - 4, ".pbt") != 0)
+      continue;
+    std::string Path = Dir + "/" + Name;
+    // Only the first 8 header bytes matter (magic + version); entries
+    // can be many megabytes, so never read the payload.
+    char Hdr[8];
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F)
+      continue;
+    size_t Got = std::fread(Hdr, 1, sizeof(Hdr), F);
+    std::fclose(F);
+    if (Got != sizeof(Hdr))
+      continue; // Too short to carry a header; leave it.
+    BinaryReader R(Hdr, sizeof(Hdr));
+    if (R.u32() != Magic)
+      continue; // Not one of ours after all.
+    if (R.u32() != FormatVersion)
+      Stale.push_back(std::move(Path));
+  }
+  ::closedir(D);
+  for (const std::string &Path : Stale)
+    if (std::remove(Path.c_str()) == 0)
+      ++Removed;
+  return Removed;
 }
 
 std::shared_ptr<const PreparedSuite>

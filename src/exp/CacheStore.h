@@ -7,8 +7,7 @@
 /// \file
 /// The on-disk half of the suite cache: a content-addressed store of
 /// prepared suites (instrumented programs, phase marks, cost tables,
-/// flat execution images, spawn affinities) that survives across
-/// processes. A SuiteCache with an attached store serves misses from
+/// flat execution images) that survives across processes. A SuiteCache with an attached store serves misses from
 /// disk before running the static pipeline, so a second run of any
 /// experiment — or the one-process bench/driver — skips every
 /// preparation it has seen before.
@@ -21,7 +20,7 @@
 /// typing seed, and the format version. One store directory can thus be
 /// shared by labs with different program sets and machines.
 ///
-/// **Format** (`pbt-suite-v1`, documented field by field in
+/// **Format** (`pbt-suite-v2`, documented field by field in
 /// docs/BENCH_SCHEMA.md): a fixed header — magic `PBTS`, format
 /// version, key, the three key components, payload length, FNV-1a
 /// payload checksum — followed by the serialized suite. Doubles are
@@ -53,8 +52,10 @@ class CacheStore {
 public:
   /// On-disk format version; bumped whenever the binary layout changes.
   /// Part of the file header AND the key hash, so a version bump
-  /// invalidates old entries without ever misreading them.
-  static constexpr uint32_t FormatVersion = 1;
+  /// invalidates old entries without ever misreading them. v2 dropped
+  /// the per-program spawn-affinity word (the HASS-static comparator
+  /// moved from suite preparation to the scheduler-policy axis).
+  static constexpr uint32_t FormatVersion = 2;
 
   /// Opens (creating if needed) the store directory \p Dir.
   explicit CacheStore(std::string Dir);
@@ -94,6 +95,14 @@ public:
 
   /// The file path entries for \p Key live at.
   std::string pathFor(uint64_t Key) const;
+
+  /// Deletes every `suite-*.pbt` entry in the store directory whose
+  /// header carries a format version other than FormatVersion (such
+  /// entries can never load again; a bump only changes the keys, so
+  /// they would otherwise sit on disk forever). Returns the number of
+  /// files removed. Unreadable or foreign files are left alone.
+  /// Backs `bench/driver --clean-cache`.
+  size_t cleanMismatchedVersions();
 
   const std::string &dir() const { return Dir; }
 

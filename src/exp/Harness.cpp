@@ -45,10 +45,10 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
   std::printf("== %s ==\n(reproduces %s; PBT_BENCH_SCALE=%.2f scales the "
               "simulated horizon)\n\n",
               Title.c_str(), PaperRef.c_str(), Scale);
-  // v2: sweeps[].suite_cache {hits,misses} (live, warm-state-dependent
-  // counters) replaced by the grid-pure distinct_preparations — see
-  // docs/BENCH_SCHEMA.md.
-  Root["schema"] = "pbt-bench-v2";
+  // v3: sweeps[].cells[] gained the "scheduler" label (the OS
+  // scheduling-policy axis). v2 replaced live suite_cache counters with
+  // the grid-pure distinct_preparations — see docs/BENCH_SCHEMA.md.
+  Root["schema"] = "pbt-bench-v3";
   Root["bench"] = Name;
   Root["title"] = std::move(Title);
   Root["paper_ref"] = std::move(PaperRef);
@@ -87,8 +87,6 @@ Json techniqueJson(const TechniqueSpec &Tech) {
   Json T = Json::object();
   T["label"] = Tech.label();
   T["baseline"] = Tech.Baseline;
-  if (Tech.StaticWholeProgramAssignment)
-    T["static_whole_program_assignment"] = true;
   if (!Tech.Baseline) {
     T["strategy"] = strategyName(Tech.Transition.Strat);
     T["min_size"] = Tech.Transition.MinSize;
@@ -120,10 +118,15 @@ Json workloadJson(const WorkloadSpec &Spec) {
 SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
   SweepResult Result = runSweep(L, Grid);
 
+  // The same normalized axis runSweep executed over, so Cell.Scheduler
+  // always labels the policy that actually ran.
+  const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
+
   Json Cells = Json::array();
   for (const SweepCell &Cell : Result.Cells) {
     Json C = Json::object();
     C["technique"] = techniqueJson(Grid.Techniques[Cell.Technique]);
+    C["scheduler"] = Schedulers[Cell.Scheduler].label();
     C["workload"] = workloadJson(Grid.Workloads[Cell.Workload]);
     C["typing_seed"] = Grid.TypingSeeds[Cell.TypingSeed];
     C["metrics"] = runMetrics(Cell.Run, Cell.Fair);
@@ -144,11 +147,13 @@ SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
   // How many static-pipeline runs this grid needs on a cold cache: the
   // distinct (preparation, typing seed) pairs it references, plus the
   // baseline — always prepared, since runSweep measures isolated
-  // runtimes through the cache even for WithBaseline = false grids. A
-  // pure function of the grid — unlike raw cache counters it does not
-  // depend on what ran earlier in the process, so artifacts stay
-  // byte-identical between standalone binaries and the one-process
-  // driver (whose warm labs may satisfy the whole grid from cache).
+  // runtimes through the cache even for WithBaseline = false grids. The
+  // scheduler axis is deliberately absent: policies only steer replays,
+  // so scheduler-only grids need one preparation. A pure function of
+  // the grid — unlike raw cache counters it does not depend on what ran
+  // earlier in the process, so artifacts stay byte-identical between
+  // standalone binaries and the one-process driver (whose warm labs may
+  // satisfy the whole grid from cache).
   std::set<uint64_t> Preparations;
   for (const TechniqueSpec &Tech : Grid.Techniques)
     for (uint64_t TypingSeed : Grid.TypingSeeds)

@@ -53,8 +53,10 @@ Comparison Lab::compare(const TechniqueSpec &Tech, uint32_t Slots,
   Workload W = workload(Slots, Seed);
   const std::vector<double> &Iso = isolated();
   std::vector<WorkloadJob> Jobs(2);
-  Jobs[0] = {&BaselineSuite, &W, &MachineCfg, Sim, Horizon, &Iso};
-  Jobs[1] = {&TunedSuite, &W, &MachineCfg, Sim, Horizon, &Iso};
+  Jobs[0] = {&BaselineSuite, &W, &MachineCfg, Sim, Horizon, &Iso,
+             SchedulerSpec()};
+  Jobs[1] = {&TunedSuite, &W, &MachineCfg, Sim, Horizon, &Iso,
+             SchedulerSpec()};
   std::vector<RunResult> Results = runWorkloads(Jobs);
   Comparison C;
   C.Base = std::move(Results[0]);

@@ -24,9 +24,17 @@ double SweepResult::throughputImprovement(const SweepCell &Cell) const {
       static_cast<double>(Cell.Run.InstructionsRetired));
 }
 
+const std::vector<SchedulerSpec> &SweepGrid::effectiveSchedulers() const {
+  // An empty scheduler axis means the classic single-policy grid.
+  static const std::vector<SchedulerSpec> DefaultSchedulers = {
+      SchedulerSpec()};
+  return Schedulers.empty() ? DefaultSchedulers : Schedulers;
+}
+
 SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
   SweepResult Result;
   const std::vector<double> &Iso = L.isolated();
+  const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
 
   // Prepare every distinct (technique, typing seed) once, through the
   // suite cache: variants sharing a preparation (e.g. tuner-only sweeps)
@@ -52,20 +60,36 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
 
   // One flat batch: baseline replays first, then all cells. Every job is
   // an independent simulation, so batch execution is bit-identical to
-  // running them back to back.
+  // running them back to back. Baselines always replay under the
+  // oblivious scheduler — the paper's fixed reference point. A cell that
+  // IS that reference point (baseline technique under the oblivious
+  // scheduler, with a baseline job for its workload in the batch) would
+  // simulate the identical replay twice; it reuses the baseline's
+  // result instead (bit-identical by construction: same images, same
+  // tuner, same queues, same policy).
   std::vector<WorkloadJob> Jobs;
   size_t BaselineJobs = Grid.WithBaseline ? Grid.Workloads.size() : 0;
   for (size_t W = 0; W < BaselineJobs; ++W)
     Jobs.push_back({&BaselineSuite, &Workloads[W], &L.machine(), L.sim(),
-                    Grid.Workloads[W].Horizon, &Iso});
+                    Grid.Workloads[W].Horizon, &Iso, SchedulerSpec()});
+  std::vector<size_t> CellJob; // Per cell: index into Jobs.
   for (size_t T = 0; T < Grid.Techniques.size(); ++T)
     for (size_t W = 0; W < Grid.Workloads.size(); ++W)
-      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S) {
-        const PreparedSuite &Suite =
-            Suites[T * Grid.TypingSeeds.size() + S];
-        Jobs.push_back({&Suite, &Workloads[W], &L.machine(), L.sim(),
-                        Grid.Workloads[W].Horizon, &Iso});
-      }
+      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
+        for (size_t C = 0; C < Schedulers.size(); ++C) {
+          if (Grid.WithBaseline &&
+              Grid.Techniques[T] == TechniqueSpec::baseline() &&
+              Schedulers[C] == SchedulerSpec()) {
+            CellJob.push_back(W); // The workload's baseline job.
+            continue;
+          }
+          const PreparedSuite &Suite =
+              Suites[T * Grid.TypingSeeds.size() + S];
+          CellJob.push_back(Jobs.size());
+          Jobs.push_back({&Suite, &Workloads[W], &L.machine(), L.sim(),
+                          Grid.Workloads[W].Horizon, &Iso,
+                          Schedulers[C]});
+        }
   std::vector<RunResult> Runs = runWorkloads(Jobs);
 
   for (size_t W = 0; W < BaselineJobs; ++W) {
@@ -74,17 +98,23 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
         computeFairness(Result.Baselines.back().Completed));
   }
 
-  size_t Next = BaselineJobs;
+  size_t Next = 0;
   for (size_t T = 0; T < Grid.Techniques.size(); ++T)
     for (size_t W = 0; W < Grid.Workloads.size(); ++W)
-      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S) {
-        SweepCell Cell;
-        Cell.Technique = static_cast<uint32_t>(T);
-        Cell.Workload = static_cast<uint32_t>(W);
-        Cell.TypingSeed = static_cast<uint32_t>(S);
-        Cell.Run = std::move(Runs[Next++]);
-        Cell.Fair = computeFairness(Cell.Run.Completed);
-        Result.Cells.push_back(std::move(Cell));
-      }
+      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
+        for (size_t C = 0; C < Schedulers.size(); ++C) {
+          SweepCell Cell;
+          Cell.Technique = static_cast<uint32_t>(T);
+          Cell.Workload = static_cast<uint32_t>(W);
+          Cell.TypingSeed = static_cast<uint32_t>(S);
+          Cell.Scheduler = static_cast<uint32_t>(C);
+          size_t Job = CellJob[Next++];
+          // Baseline jobs were moved into Result.Baselines above; cells
+          // reusing one copy it, cells with their own job take it.
+          Cell.Run = Job < BaselineJobs ? Result.Baselines[Job]
+                                        : std::move(Runs[Job]);
+          Cell.Fair = computeFairness(Cell.Run.Completed);
+          Result.Cells.push_back(std::move(Cell));
+        }
   return Result;
 }

@@ -43,7 +43,7 @@ struct WorkloadSpec {
 };
 
 /// Axes of one sweep. Cells enumerate Techniques x Workloads x
-/// TypingSeeds (machines are handled one Lab at a time; see
+/// TypingSeeds x Schedulers (machines are handled one Lab at a time; see
 /// ExperimentHarness::sweep for the machine axis).
 struct SweepGrid {
   std::vector<TechniqueSpec> Techniques;
@@ -52,10 +52,24 @@ struct SweepGrid {
   /// the default quadAsymmetric machine.
   std::vector<MachineConfig> Machines;
   std::vector<uint64_t> TypingSeeds = {42};
+  /// OS scheduling-policy axis; the default single oblivious entry is
+  /// the classic pre-axis behaviour (an empty vector is treated the
+  /// same). Orthogonal to suite preparation: sweeping only this axis
+  /// replays the same cached images under each policy and never
+  /// re-runs the static pipeline.
+  std::vector<SchedulerSpec> Schedulers = {SchedulerSpec()};
   /// Also replay each workload under the uninstrumented baseline (once
   /// per workload, shared across techniques) so cells can report
-  /// vs-baseline deltas.
+  /// vs-baseline deltas. The baseline is always the paper's reference
+  /// point — uninstrumented programs under the oblivious scheduler —
+  /// regardless of the Schedulers axis.
   bool WithBaseline = true;
+
+  /// The scheduler axis with the empty-vector default applied. Both
+  /// runSweep (execution) and the harness (cell labeling) index
+  /// SweepCell::Scheduler through this one accessor, so labels can
+  /// never drift from what actually ran.
+  const std::vector<SchedulerSpec> &effectiveSchedulers() const;
 };
 
 /// One executed cell: axis indices plus the canonical run results.
@@ -63,12 +77,16 @@ struct SweepCell {
   uint32_t Technique = 0;  ///< Index into SweepGrid::Techniques.
   uint32_t Workload = 0;   ///< Index into SweepGrid::Workloads.
   uint32_t TypingSeed = 0; ///< Index into SweepGrid::TypingSeeds.
+  /// Index into SweepGrid::effectiveSchedulers() — equal to an index
+  /// into Schedulers whenever the axis was set explicitly, but always
+  /// valid even for a grid whose Schedulers vector was cleared.
+  uint32_t Scheduler = 0;
   RunResult Run;           ///< Canonical replay result of this cell.
   FairnessMetrics Fair;    ///< Fairness metrics over Run's completions.
 };
 
 /// All cells of one grid on one machine, in technique-major order
-/// (technique, then workload, then typing seed).
+/// (technique, then workload, then typing seed, then scheduler).
 struct SweepResult {
   std::vector<SweepCell> Cells;
   /// Baseline replay per workload index (empty without WithBaseline).

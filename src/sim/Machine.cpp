@@ -8,55 +8,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 using namespace pbt;
-
-SchedulerPolicy::~SchedulerPolicy() = default;
-
-uint32_t ObliviousScheduler::selectCore(const Machine &M, const Process &P) {
-  uint32_t Best = UINT32_MAX;
-  uint32_t BestLen = UINT32_MAX;
-  for (uint32_t Core = 0; Core < M.config().numCores(); ++Core) {
-    if (!P.allowedOn(Core))
-      continue;
-    uint32_t Len = M.queueLength(Core);
-    if (Len < BestLen) {
-      BestLen = Len;
-      Best = Core;
-    }
-  }
-  assert(Best != UINT32_MAX && "affinity mask excludes every core");
-  return Best;
-}
-
-void ObliviousScheduler::balance(Machine &M) {
-  // Pull-style balancing: repeatedly move one queued process from the
-  // longest to the shortest queue while the imbalance exceeds one.
-  uint32_t NumCores = M.config().numCores();
-  for (int Round = 0; Round < 8; ++Round) {
-    uint32_t Longest = 0;
-    uint32_t Shortest = 0;
-    for (uint32_t Core = 1; Core < NumCores; ++Core) {
-      if (M.queueLength(Core) > M.queueLength(Longest))
-        Longest = Core;
-      if (M.queueLength(Core) < M.queueLength(Shortest))
-        Shortest = Core;
-    }
-    if (M.queueLength(Longest) < M.queueLength(Shortest) + 2)
-      return;
-    // Find a migratable process, preferring the tail (coldest).
-    const std::deque<uint32_t> &Queue = M.queue(Longest);
-    bool Moved = false;
-    for (auto It = Queue.rbegin(); It != Queue.rend(); ++It) {
-      if (M.process(*It).allowedOn(Shortest)) {
-        Moved = M.moveQueued(*It, Longest, Shortest);
-        break;
-      }
-    }
-    if (!Moved)
-      return;
-  }
-}
 
 Machine::Machine(MachineConfig ConfigIn, SimConfig SimIn,
                  std::unique_ptr<SchedulerPolicy> PolicyIn)
@@ -64,6 +18,20 @@ Machine::Machine(MachineConfig ConfigIn, SimConfig SimIn,
       Counters(SimIn.CounterSlots), Queues(Config.numCores()),
       BusyCycles(Config.numCores(), 0.0), Used(Config.numCores(), 0.0),
       Gen(SimIn.Seed) {
+  // Validate the SimConfig up front: these inconsistencies would not
+  // crash, they would silently simulate nonsense (a zero timeslice
+  // never advances the clock; a timeslice past the balance period makes
+  // balancing fire every quantum instead of periodically).
+  if (!(Sim.Timeslice > 0))
+    throw std::invalid_argument(
+        "SimConfig::Timeslice must be positive (simulated seconds)");
+  if (!(Sim.BalancePeriod > 0))
+    throw std::invalid_argument(
+        "SimConfig::BalancePeriod must be positive (simulated seconds)");
+  if (Sim.Timeslice > Sim.BalancePeriod)
+    throw std::invalid_argument(
+        "SimConfig::Timeslice must not exceed BalancePeriod: balancing "
+        "happens between quanta, every BalancePeriod seconds");
   assert(Config.numCores() >= 1 && Config.numCores() <= 64 &&
          "machine must have 1..64 cores");
   assert(Policy && "machine needs a scheduling policy");
@@ -99,6 +67,15 @@ uint32_t Machine::spawn(std::shared_ptr<const InstrumentedProgram> IProg,
   P->ArrivalTime = Now;
   P->Slot = Slot;
   Procs.push_back(std::move(P));
+  SchedTelemetry T;
+  T.InstsByType.resize(Config.numCoreTypes(), 0);
+  T.CyclesByType.resize(Config.numCoreTypes(), 0.0);
+  Telem.push_back(std::move(T));
+  // The policy sees the process before its first placement and may
+  // narrow the affinity mask (OS-level static assignment).
+  Policy->onSpawn(*this, *Procs[Pid]);
+  assert((Procs[Pid]->AffinityMask & Config.allCoresMask()) != 0 &&
+         "policy onSpawn left no allowed core");
   placeProcess(Pid);
   return Pid;
 }
@@ -164,6 +141,7 @@ void Machine::run(double Until) {
       for (uint32_t Core = 0; Core < NumCores; ++Core) {
         double Freq = coreFrequency(Core);
         double Budget = Sim.Timeslice * Freq;
+        uint32_t Ct = coreType(Core);
         uint32_t Sharers =
             std::max(1u, GroupActive[Config.Cores[Core].L2Group]);
 
@@ -171,6 +149,7 @@ void Machine::run(double Until) {
           Progress = true;
           uint32_t Pid = Queues[Core].front();
           Process &P = *Procs[Pid];
+          uint64_t InstsBefore = P.Stats.InstsRetired;
           AdvanceResult R =
               advanceProcess(P, Core, Budget - Used[Core], Sharers);
           Used[Core] += R.CyclesUsed;
@@ -178,11 +157,24 @@ void Machine::run(double Until) {
           P.Stats.CyclesConsumed += R.CyclesUsed;
           P.Stats.CpuSeconds += R.CyclesUsed / Freq;
 
+          // Scheduler telemetry: the counters an OS policy may observe.
+          // Pure bookkeeping — it never feeds back into the simulation
+          // unless a policy acts on it.
+          SchedTelemetry &T = Telem[Pid];
+          uint64_t WindowInsts = P.Stats.InstsRetired - InstsBefore;
+          T.InstsByType[Ct] += WindowInsts;
+          T.CyclesByType[Ct] += R.CyclesUsed;
+          if (R.CyclesUsed > 0) {
+            T.WindowIpc = static_cast<double>(WindowInsts) / R.CyclesUsed;
+            T.WindowCoreType = Ct;
+          }
+
           if (R.Finished) {
             P.CompletionTime = Now + std::min(Used[Core], Budget) / Freq;
             Queues[Core].pop_front();
             if (P.MonActive)
               finishMonitor(P);
+            Policy->onExit(*this, P);
             if (OnExit)
               OnExit(*this, P);
             continue;
@@ -201,6 +193,7 @@ void Machine::run(double Until) {
         break;
     }
 
+    Policy->onQuantumEnd(*this);
     Now += Sim.Timeslice;
   }
 }

@@ -81,6 +81,9 @@ struct SimConfig {
 /// The simulated machine: cores, runqueues, clock, counter slots.
 class Machine {
 public:
+  /// Throws std::invalid_argument when \p Sim is inconsistent:
+  /// non-positive Timeslice or BalancePeriod, or a Timeslice longer than
+  /// the BalancePeriod (balancing would never observe a settled quantum).
   Machine(MachineConfig Config, SimConfig Sim,
           std::unique_ptr<SchedulerPolicy> Policy);
 
@@ -93,8 +96,9 @@ public:
   /// dynamic traces across scheduler configurations (the paper's
   /// same-queues methodology). Returns the pid.
   /// \p InitialAffinity restricts the process's allowed cores from birth
-  /// (0 = all cores), modeling externally pinned processes such as a
-  /// HASS-style static whole-program assignment.
+  /// (0 = all cores), modeling externally pinned processes; the
+  /// scheduling policy's onSpawn hook runs afterwards and may narrow the
+  /// mask further (e.g. HassStaticScheduler's whole-program pinning).
   /// \p Flat, when non-null, supplies a prebuilt execution image (the
   /// workload runner shares one per benchmark); otherwise the machine
   /// builds and caches one per (program, cost model) pair.
@@ -135,6 +139,15 @@ public:
   /// Moves a queued process to \p ToCore (affinity permitting); returns
   /// false when the process is not queued on \p FromCore or not allowed.
   bool moveQueued(uint32_t Pid, uint32_t FromCore, uint32_t ToCore);
+
+  /// Scheduler-policy telemetry for \p Pid: counter-derived instructions
+  /// and cycles per core type plus the last execution window's IPC —
+  /// what an asymmetry-aware OS policy is allowed to observe (see
+  /// SchedTelemetry). Maintained for every process; never influences
+  /// the simulation unless a policy acts on it.
+  const SchedTelemetry &telemetry(uint32_t Pid) const {
+    return Telem[Pid];
+  }
 
 private:
   struct AdvanceResult {
@@ -184,6 +197,8 @@ private:
   double NextBalance = 0;
   std::vector<std::deque<uint32_t>> Queues;
   std::vector<std::unique_ptr<Process>> Procs;
+  /// Per-process scheduler telemetry, indexed like Procs.
+  std::vector<SchedTelemetry> Telem;
   std::vector<double> BusyCycles;
   /// Per-quantum scratch, hoisted out of run() so timeslices allocate
   /// nothing: active cores per L2 group, and used cycles per core.

@@ -16,8 +16,6 @@
 using namespace pbt;
 
 std::string TechniqueSpec::label() const {
-  if (StaticWholeProgramAssignment)
-    return "HASS-static";
   if (Baseline)
     return "Linux";
   std::string Out = Transition.label();
@@ -35,7 +33,6 @@ uint64_t TechniqueSpec::preparationHash() const {
   uint64_t H = hashCombine(0x5E17E3, Baseline ? 1 : 0);
   H = hashCombine(H, hashValue(Transition));
   H = hashCombine(H, UseStaticTyping ? 1 : 0);
-  H = hashCombine(H, StaticWholeProgramAssignment ? 1 : 0);
   H = hashCombine(H, hashDouble(TypingError));
   return hashCombine(H, hashValue(Cost));
 }
@@ -51,7 +48,6 @@ struct PreparedProgram {
   std::shared_ptr<const InstrumentedProgram> Image;
   std::shared_ptr<const CostModel> Cost;
   std::shared_ptr<const FlatImage> Flat;
-  uint64_t Affinity = 0;
 };
 
 /// The full static pipeline for one program: cost model, typing, marking,
@@ -80,46 +76,6 @@ PreparedProgram prepareOne(const Program &Prog, const MachineConfig &Machine,
       Typing = injectClusteringError(Typing, Tech.TypingError,
                                      TypingSeed ^ 0xE77);
     Marking = computeTransitions(Prog, Typing, Tech.Transition);
-  }
-
-  if (Tech.StaticWholeProgramAssignment) {
-    // Whole-program dominant type: instruction-weighted vote over the
-    // behavioural typing; pin to that core type for the process's
-    // entire life (no phase awareness).
-    ProgramTyping Typing = computeOracleTyping(Prog, *Cost);
-    double MemWeight = 0;
-    double Total = 0;
-    for (const Procedure &P : Prog.Procs) {
-      if (P.Name.find("_cold") != std::string::npos)
-        continue; // Dead code should not vote.
-      for (const BasicBlock &BB : P.Blocks) {
-        // Cycle-weighted vote (HASS uses static performance
-        // estimates): a block's weight is its fast-core cycle cost.
-        double W = Cost->blockCycles(P.Id, BB.Id, 0, 1);
-        Total += W;
-        if (Typing.typeOf(P.Id, BB.Id) == 1)
-          MemWeight += W;
-      }
-    }
-    // Type 1 (memory) maps to the slowest core type, type 0 to the
-    // fastest, mirroring the phase-level policy at program granularity.
-    uint32_t Fast = 0;
-    uint32_t Slow = 0;
-    for (uint32_t Ct = 0; Ct < Machine.numCoreTypes(); ++Ct) {
-      if (Machine.CoreTypes[Ct].Frequency >
-          Machine.CoreTypes[Fast].Frequency)
-        Fast = Ct;
-      if (Machine.CoreTypes[Ct].Frequency <
-          Machine.CoreTypes[Slow].Frequency)
-        Slow = Ct;
-    }
-    // Pin only clearly dominant programs; mixed programs stay
-    // unconstrained (a sensible static assigner would not pin them).
-    double MemShare = Total > 0 ? MemWeight / Total : 0;
-    if (MemShare > 0.65)
-      Out.Affinity = Machine.coreMaskOfType(Slow);
-    else if (MemShare < 0.35)
-      Out.Affinity = Machine.coreMaskOfType(Fast);
   }
 
   Out.Image = std::make_shared<const InstrumentedProgram>(
@@ -152,7 +108,6 @@ PreparedSuite pbt::prepareSuite(const std::vector<Program> &Programs,
     Suite.Images.push_back(std::move(Prepared[Index].Image));
     Suite.Costs.push_back(std::move(Prepared[Index].Cost));
     Suite.Flats.push_back(std::move(Prepared[Index].Flat));
-    Suite.SpawnAffinity.push_back(Prepared[Index].Affinity);
   }
   return Suite;
 }
@@ -203,11 +158,12 @@ CompletedJob pbt::runIsolated(const PreparedSuite &Suite, uint32_t Bench,
 RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
                            const MachineConfig &MachineCfg,
                            const SimConfig &Sim, double Horizon,
-                           const std::vector<double> &Isolated) {
+                           const std::vector<double> &Isolated,
+                           const SchedulerSpec &Sched) {
   RunResult Result;
   Result.Horizon = Horizon;
 
-  Machine M(MachineCfg, Sim, std::make_unique<ObliviousScheduler>());
+  Machine M(MachineCfg, Sim, Sched.makeScheduler());
 
   // Per-slot cursor into the job queues; on exit, start the next job of
   // the finished process's slot (constant workload size).
@@ -220,12 +176,9 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
       return; // Queue exhausted (workloads should be sized to avoid this).
     ++NextJob[Slot];
     uint32_t Bench = W.Slots[Slot][Index];
-    uint64_t Affinity = Bench < Suite.SpawnAffinity.size()
-                            ? Suite.SpawnAffinity[Bench]
-                            : 0;
     M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner,
-            W.jobSeed(Slot, Index), static_cast<int32_t>(Slot), Affinity,
-            Suite.Flats[Bench]);
+            W.jobSeed(Slot, Index), static_cast<int32_t>(Slot),
+            /*InitialAffinity=*/0, Suite.Flats[Bench]);
     BenchOfPid.push_back(Bench);
   };
 
@@ -284,7 +237,8 @@ pbt::runWorkloads(const std::vector<WorkloadJob> &Jobs) {
     static const std::vector<double> NoIsolated;
     Results[I] = runWorkload(*Job.Suite, *Job.W, *Job.Machine, Job.Sim,
                              Job.Horizon,
-                             Job.Isolated ? *Job.Isolated : NoIsolated);
+                             Job.Isolated ? *Job.Isolated : NoIsolated,
+                             Job.Sched);
   });
   return Results;
 }

@@ -41,21 +41,17 @@ struct TechniqueSpec {
   /// Use the proof-of-concept static k-means typing instead of the
   /// behavioural oracle (Sec. II-A3 ablation).
   bool UseStaticTyping = false;
-  /// HASS-style comparator (related work, Shelepov et al.): no marks, no
-  /// dynamic monitoring; each process is statically pinned at spawn to
-  /// the core type matching its whole-program dominant type. Unlike
-  /// phase-based tuning this cannot react to behaviour changes during
-  /// execution.
-  bool StaticWholeProgramAssignment = false;
   /// Clustering-error fraction injected after typing (Fig. 7).
   double TypingError = 0;
   /// Instrumentation cost profile.
   MarkCostModel Cost = MarkCostModel::tuned();
 
-  /// Unambiguous display label: "Linux" (baseline), "HASS-static", or the
-  /// transition label with static-typing / typing-error markers appended
+  /// Unambiguous display label: "Linux" (baseline) or the transition
+  /// label with static-typing / typing-error markers appended
   /// ("Loop[45]", "Loop[45]+static", "BB[15,0]+err10%"), so sweep cells
-  /// labeled by technique are self-describing.
+  /// labeled by technique are self-describing. OS-level strategies are
+  /// not techniques: the HASS-style comparator lives on the scheduler
+  /// axis (SchedulerSpec::hassStatic()).
   std::string label() const;
 
   static TechniqueSpec baseline() {
@@ -64,12 +60,6 @@ struct TechniqueSpec {
     return T;
   }
 
-  static TechniqueSpec hassStatic() {
-    TechniqueSpec T;
-    T.Baseline = true; // No instrumentation...
-    T.StaticWholeProgramAssignment = true; // ...but pinned at spawn.
-    return T;
-  }
   static TechniqueSpec tuned(TransitionConfig Transition, TunerConfig Tuner) {
     TechniqueSpec T;
     T.Transition = Transition;
@@ -92,8 +82,6 @@ struct TechniqueSpec {
   bool samePreparation(const TechniqueSpec &Other) const {
     return Baseline == Other.Baseline && Transition == Other.Transition &&
            UseStaticTyping == Other.UseStaticTyping &&
-           StaticWholeProgramAssignment ==
-               Other.StaticWholeProgramAssignment &&
            TypingError == Other.TypingError && Cost == Other.Cost;
   }
 
@@ -105,6 +93,9 @@ struct TechniqueSpec {
 uint64_t hashValue(const TechniqueSpec &Tech);
 
 /// Ready-to-run benchmark images for one technique on one machine.
+/// Deliberately scheduler-free: the same prepared suite replays under
+/// any SchedulerSpec (OS-level assignment, including the HASS-static
+/// comparator's spawn pinning, lives entirely in the scheduler policy).
 struct PreparedSuite {
   std::vector<std::shared_ptr<const InstrumentedProgram>> Images;
   std::vector<std::shared_ptr<const CostModel>> Costs;
@@ -113,9 +104,6 @@ struct PreparedSuite {
   std::vector<std::shared_ptr<const FlatImage>> Flats;
   std::vector<std::string> Names;
   TunerConfig Tuner;
-  /// Per-benchmark spawn affinity (0 = unconstrained); used by the
-  /// HASS-static comparator.
-  std::vector<uint64_t> SpawnAffinity;
 };
 
 /// Types + marks + instruments every program for \p Tech on \p Machine.
@@ -171,7 +159,9 @@ struct RunResult {
   std::vector<double> CoreBusy;
 };
 
-/// Replays \p W on \p MachineCfg for \p Horizon simulated seconds.
+/// Replays \p W on \p MachineCfg for \p Horizon simulated seconds under
+/// the OS policy named by \p Sched (the oblivious Linux-like baseline by
+/// default — the exact policy every pre-scheduler-axis experiment ran).
 /// \p Isolated, when non-empty, supplies per-benchmark t_i values copied
 /// into CompletedJob::Isolated. RunResult::Completed is canonically
 /// ordered (completion time, then slot/arrival/bench as tie-breaks) so
@@ -179,7 +169,8 @@ struct RunResult {
 RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
                       const MachineConfig &MachineCfg, const SimConfig &Sim,
                       double Horizon,
-                      const std::vector<double> &Isolated = {});
+                      const std::vector<double> &Isolated = {},
+                      const SchedulerSpec &Sched = SchedulerSpec());
 
 /// One workload replay request for the parallel runner. Pointees must
 /// outlive the runWorkloads call.
@@ -191,6 +182,8 @@ struct WorkloadJob {
   double Horizon = 0;
   /// Optional per-benchmark t_i values (see runWorkload).
   const std::vector<double> *Isolated = nullptr;
+  /// OS scheduling policy of this replay (oblivious by default).
+  SchedulerSpec Sched;
 };
 
 /// Replays all jobs concurrently on the global thread pool. Each job is
@@ -202,6 +195,9 @@ std::vector<RunResult> runWorkloads(const std::vector<WorkloadJob> &Jobs);
 
 /// Runs benchmark \p Bench of \p Suite alone to completion; returns the
 /// finished process's record (Table 1 / Fig. 5 per-benchmark data).
+/// Always runs under the oblivious scheduler: the isolated runtime t_i
+/// is *defined* against the paper's Linux baseline, so the fairness
+/// metrics stay comparable across scheduler-axis sweeps.
 CompletedJob runIsolated(const PreparedSuite &Suite, uint32_t Bench,
                          const MachineConfig &MachineCfg,
                          const SimConfig &Sim, uint64_t Seed = 1);

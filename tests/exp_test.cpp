@@ -1,5 +1,7 @@
 //===- tests/exp_test.cpp - experiment harness: cache, sweeps, parallel ---===//
 
+#include "RunIdentity.h"
+
 #include "exp/CacheStore.h"
 #include "exp/Harness.h"
 #include "exp/Lab.h"
@@ -71,7 +73,6 @@ TechniqueSpec loopTechnique(double Delta = 0.2) {
 void expectSuitesIdentical(const PreparedSuite &A, const PreparedSuite &B) {
   ASSERT_EQ(A.Images.size(), B.Images.size());
   EXPECT_EQ(A.Names, B.Names);
-  EXPECT_EQ(A.SpawnAffinity, B.SpawnAffinity);
   for (size_t I = 0; I < A.Images.size(); ++I) {
     const InstrumentedProgram &IA = *A.Images[I];
     const InstrumentedProgram &IB = *B.Images[I];
@@ -99,28 +100,8 @@ void expectSuitesIdentical(const PreparedSuite &A, const PreparedSuite &B) {
   }
 }
 
-/// Asserts two run results are bit-identical (doubles compared exactly).
-void expectRunsIdentical(const RunResult &A, const RunResult &B) {
-  EXPECT_EQ(A.InstructionsRetired, B.InstructionsRetired);
-  EXPECT_EQ(A.TotalSwitches, B.TotalSwitches);
-  EXPECT_EQ(A.TotalMarks, B.TotalMarks);
-  EXPECT_EQ(A.CounterWaits, B.CounterWaits);
-  EXPECT_DOUBLE_EQ(A.TotalOverheadCycles, B.TotalOverheadCycles);
-  EXPECT_DOUBLE_EQ(A.TotalCycles, B.TotalCycles);
-  ASSERT_EQ(A.Completed.size(), B.Completed.size());
-  for (size_t I = 0; I < A.Completed.size(); ++I) {
-    EXPECT_EQ(A.Completed[I].Bench, B.Completed[I].Bench);
-    EXPECT_EQ(A.Completed[I].Slot, B.Completed[I].Slot);
-    EXPECT_DOUBLE_EQ(A.Completed[I].Arrival, B.Completed[I].Arrival);
-    EXPECT_DOUBLE_EQ(A.Completed[I].Completion, B.Completed[I].Completion);
-    EXPECT_DOUBLE_EQ(A.Completed[I].Stats.CyclesConsumed,
-                     B.Completed[I].Stats.CyclesConsumed);
-    EXPECT_EQ(A.Completed[I].Stats.CoreSwitches,
-              B.Completed[I].Stats.CoreSwitches);
-    EXPECT_EQ(A.Completed[I].Stats.MarksFired,
-              B.Completed[I].Stats.MarksFired);
-  }
-}
+// expectRunsIdentical (the bit-identity comparator) is shared with the
+// scheduler suite; see tests/RunIdentity.h.
 
 } // namespace
 
@@ -137,9 +118,11 @@ TEST(PrepareSuiteParallel, BitIdenticalToSerialOnRandomPrograms) {
   ThreadPool Many(8);
   for (uint64_t Seed : {1ull, 77ull, 991ull}) {
     std::vector<Program> Programs = randomPrograms(Seed, 6);
+    TechniqueSpec BB = loopTechnique();
+    BB.Transition.Strat = Strategy::BasicBlock;
+    BB.Transition.MinSize = 15;
     for (const TechniqueSpec &Tech :
-         {TechniqueSpec::baseline(), loopTechnique(),
-          TechniqueSpec::hassStatic()}) {
+         {TechniqueSpec::baseline(), loopTechnique(), BB}) {
       PreparedSuite A = prepareSuite(Programs, MC, Tech, 42, &Serial);
       PreparedSuite B = prepareSuite(Programs, MC, Tech, 42, &Many);
       expectSuitesIdentical(A, B);
@@ -311,6 +294,88 @@ TEST(SweepTest, ComparisonMatchesLabCompare) {
                    Direct.throughputImprovement());
 }
 
+// The scheduler axis multiplies cells but NOT preparations: policies
+// only steer replays, so a grid sweeping four schedulers over one
+// technique prepares exactly as much as the one-scheduler grid.
+TEST(SweepTest, SchedulerAxisEnumeratesWithoutExtraPreparation) {
+  Lab L(smallSuite(), MachineConfig::quadAsymmetric());
+  SweepGrid G;
+  G.Techniques = {TechniqueSpec::baseline()};
+  G.Schedulers = {SchedulerSpec::oblivious(), SchedulerSpec::fastestFirst(),
+                  SchedulerSpec::hassStatic(),
+                  SchedulerSpec::ipcSampling()};
+  G.Workloads = {{/*Slots=*/4, /*Horizon=*/15, /*Seed=*/5,
+                  /*JobsPerSlot=*/64}};
+  SweepResult R = runSweep(L, G);
+  ASSERT_EQ(R.Cells.size(), 4u);
+  for (uint32_t I = 0; I < 4; ++I)
+    EXPECT_EQ(R.Cells[I].Scheduler, I);
+  // One preparation total (the baseline suite, shared by the isolated-
+  // runtime measurement, the technique cells, and the baseline replay).
+  EXPECT_EQ(L.cache().misses(), 1u);
+  // The oblivious cell replays the baseline suite on the baseline
+  // workload: it must equal the shared baseline replay exactly.
+  EXPECT_EQ(R.Cells[0].Run.InstructionsRetired,
+            R.Baselines[0].InstructionsRetired);
+  // Policies genuinely differ: the ipc-sampling reassigner migrates
+  // processes the oblivious baseline leaves in place. (fastest-first can
+  // legitimately coincide with oblivious here — the quad's fast cores
+  // come first, so the tie-breaks pick the same cores.)
+  EXPECT_NE(R.Cells[3].Run.InstructionsRetired,
+            R.Cells[0].Run.InstructionsRetired);
+}
+
+// The CI warm-cache invariant, in-process: a scheduler-only sweep over
+// a persistent store must replay entirely from cached suites —
+// prepared() == 0, storeHits() > 0 — in a cold lab.
+TEST(SweepTest, SchedulerOnlySweepServedFromStore) {
+  auto Store = std::make_shared<CacheStore>("exp_test_schedaxis.cache");
+  SweepGrid G;
+  G.Techniques = {TechniqueSpec::baseline()};
+  G.Schedulers = {SchedulerSpec::oblivious(), SchedulerSpec::fastestFirst(),
+                  SchedulerSpec::ipcSampling()};
+  G.Workloads = {{4, 10, 5, 64}};
+  G.WithBaseline = false;
+
+  Lab First(smallSuite(), MachineConfig::quadAsymmetric());
+  First.cache().setStore(Store);
+  SweepResult Cold = runSweep(First, G);
+
+  Lab Second(smallSuite(), MachineConfig::quadAsymmetric());
+  Second.cache().setStore(Store);
+  SweepResult Warm = runSweep(Second, G);
+  EXPECT_EQ(Second.cache().prepared(), 0u);
+  EXPECT_GT(Second.cache().storeHits(), 0u);
+
+  // And cached replays are bit-identical to the cold ones.
+  ASSERT_EQ(Cold.Cells.size(), Warm.Cells.size());
+  for (size_t I = 0; I < Cold.Cells.size(); ++I)
+    expectRunsIdentical(Cold.Cells[I].Run, Warm.Cells[I].Run);
+}
+
+// The artifact records the scheduler label per cell, and the grid-pure
+// distinct_preparations ignores the scheduler axis.
+TEST(HarnessTest, SchedulerLabelsRecordedPreparationsExcludeAxis) {
+  ExperimentHarness H("sched_axis_artifact", "scheduler axis artifact",
+                      "none");
+  SweepGrid G;
+  G.Techniques = {loopTechnique(0.2)};
+  G.Schedulers = {SchedulerSpec::oblivious(),
+                  SchedulerSpec::fastestFirst()};
+  G.Workloads = {{4, 10, 5, 64}};
+  H.sweep(H.lab(MachineConfig::quadAsymmetric()), G);
+  std::string Artifact = H.json().dump(0);
+  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v3\""), std::string::npos);
+  EXPECT_NE(Artifact.find("\"scheduler\":\"oblivious\""),
+            std::string::npos);
+  EXPECT_NE(Artifact.find("\"scheduler\":\"fastest-first\""),
+            std::string::npos);
+  // One technique preparation + the baseline: the two schedulers add
+  // nothing.
+  EXPECT_NE(Artifact.find("\"distinct_preparations\":2"),
+            std::string::npos);
+}
+
 TEST(SweepTest, TypingSeedAxisEnumerates) {
   Lab L(smallSuite(), MachineConfig::quadAsymmetric());
   SweepGrid G;
@@ -336,7 +401,6 @@ TEST(SweepTest, TypingSeedAxisEnumerates) {
 
 TEST(TechniqueLabels, MarkersAreUnambiguous) {
   EXPECT_EQ(TechniqueSpec::baseline().label(), "Linux");
-  EXPECT_EQ(TechniqueSpec::hassStatic().label(), "HASS-static");
   EXPECT_EQ(loopTechnique().label(), "Loop[45]");
   TechniqueSpec Static = loopTechnique();
   Static.UseStaticTyping = true;
@@ -455,9 +519,10 @@ TEST(CacheStoreTest, RoundTripBitIdentical) {
   MachineConfig MC = MachineConfig::quadAsymmetric();
   uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
 
+  TechniqueSpec Static = loopTechnique();
+  Static.UseStaticTyping = true;
   for (const TechniqueSpec &Tech :
-       {TechniqueSpec::baseline(), loopTechnique(),
-        TechniqueSpec::hassStatic()}) {
+       {TechniqueSpec::baseline(), loopTechnique(), Static}) {
     PreparedSuite Fresh = prepareSuite(Programs, MC, Tech, 42);
     uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
     ASSERT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42, Fresh));
@@ -530,6 +595,36 @@ TEST(CacheStoreTest, TruncatedAndCorruptFilesRejected) {
   // The pristine bytes still load.
   ASSERT_TRUE(writeFileAtomic(Store.pathFor(Key), Good));
   EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) != nullptr);
+}
+
+// --clean-cache's helper: only entries carrying a foreign format
+// version are deleted; current entries and non-store files survive.
+TEST(CacheStoreTest, CleanMismatchedVersionsRemovesOnlyStaleEntries) {
+  CacheStore Store("exp_test_clean.cache");
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+  uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
+  ASSERT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42,
+                         prepareSuite(Programs, MC, Tech, 42)));
+
+  // A stale entry from a previous format version ("PBTS" + version 1),
+  // and a foreign file that merely looks similar.
+  std::string StalePath = Store.dir() + "/suite-00000000deadbeef.pbt";
+  std::string Stale("PBTS\x01\x00\x00\x00stale-payload", 21);
+  ASSERT_TRUE(writeFileAtomic(StalePath, Stale));
+  std::string ForeignPath = Store.dir() + "/suite-0000000000000000.txt";
+  ASSERT_TRUE(writeFileAtomic(ForeignPath, "not a store file"));
+
+  EXPECT_EQ(Store.cleanMismatchedVersions(), 1u);
+
+  std::string Bytes;
+  EXPECT_FALSE(readFile(StalePath, Bytes)) << "stale entry must be gone";
+  EXPECT_TRUE(readFile(ForeignPath, Bytes)) << "foreign file untouched";
+  EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) != nullptr)
+      << "current-version entry untouched";
+  std::remove(ForeignPath.c_str());
 }
 
 // A SuiteCache with an attached store serves cross-"process" requests

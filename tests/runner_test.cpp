@@ -180,18 +180,19 @@ TEST(RunWorkload, StaticTypingPipelineRuns) {
 }
 
 TEST(HassStatic, PinsDominantProgramsAtSpawn) {
+  // The HASS comparator is an OS policy, not a preparation: the
+  // uninstrumented baseline images replay under hass-static, and the
+  // whole-program mask analysis pins clearly dominant programs only.
   auto Programs = buildSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   PreparedSuite Suite = prepareSuite(Programs, MC,
-                                     TechniqueSpec::hassStatic());
-  ASSERT_EQ(Suite.SpawnAffinity.size(), Programs.size());
-  // No marks (it is not instrumentation-based)...
+                                     TechniqueSpec::baseline());
   for (const auto &Image : Suite.Images)
     EXPECT_TRUE(Image->marks().empty());
-  // ...but at least some clearly-dominant programs are pinned, to
-  // either type, and pins are valid core masks.
   int PinnedFast = 0, PinnedSlow = 0;
-  for (uint64_t Mask : Suite.SpawnAffinity) {
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    uint64_t Mask =
+        hassWholeProgramMask(Programs[I], *Suite.Costs[I], MC);
     if (Mask == 0)
       continue;
     if (Mask == MC.coreMaskOfType(0))
@@ -203,16 +204,17 @@ TEST(HassStatic, PinsDominantProgramsAtSpawn) {
   }
   EXPECT_GT(PinnedFast, 0);
   EXPECT_GT(PinnedSlow, 0);
-  EXPECT_EQ(TechniqueSpec::hassStatic().label(), "HASS-static");
+  EXPECT_EQ(SchedulerSpec::hassStatic().label(), "hass-static");
 }
 
 TEST(HassStatic, PinRespectedThroughoutRun) {
   auto Programs = buildSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   PreparedSuite Suite = prepareSuite(Programs, MC,
-                                     TechniqueSpec::hassStatic());
+                                     TechniqueSpec::baseline());
   Workload W = Workload::random(4, 32, Programs.size(), 5);
-  RunResult R = runWorkload(Suite, W, MC, SimConfig(), 20);
+  RunResult R = runWorkload(Suite, W, MC, SimConfig(), 20, {},
+                            SchedulerSpec::hassStatic());
   EXPECT_EQ(R.TotalSwitches, 0u); // Static assignment never migrates.
   EXPECT_GT(R.InstructionsRetired, 0u);
 }
