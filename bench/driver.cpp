@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Runs every registered experiment (all 14 fig/table/sweep/ablation
+// Runs every registered experiment (all 17 fig/table/sweep/ablation
 // grids) in ONE process over shared per-machine Labs:
 //
 //  - suite preparation is deduplicated across experiments through the
@@ -17,9 +17,16 @@
 //
 // Usage:
 //   driver [--list] [--only=name1,name2] [--clean-cache]
+//          [--gc-cache] [--max-cache-bytes=N] [--max-cache-age-days=D]
 //
 // --clean-cache deletes PBT_CACHE_DIR entries written by other format
 // versions (they can never load again) and exits.
+//
+// --gc-cache garbage-collects PBT_CACHE_DIR by recency and exits:
+// entries older than --max-cache-age-days are evicted, then the
+// least-recently-used entries (file mtime, refreshed on every cache
+// hit) until the store fits in --max-cache-bytes. With neither bound
+// given, a default 512 MiB size budget applies.
 //
 // Environment: PBT_BENCH_SCALE scales horizons, PBT_CACHE_DIR enables
 // the persistent suite store, PBT_THREADS sizes the replay pool.
@@ -39,6 +46,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -71,6 +79,11 @@ std::vector<std::string> splitList(const char *Csv) {
 int main(int Argc, char **Argv) {
   bool ListOnly = false;
   bool CleanCache = false;
+  bool GcCache = false;
+  bool SawMaxBytes = false;
+  bool SawMaxAge = false;
+  uint64_t MaxCacheBytes = 0;
+  double MaxCacheAgeDays = 0;
   std::vector<std::string> Only;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -78,13 +91,45 @@ int main(int Argc, char **Argv) {
       ListOnly = true;
     } else if (std::strcmp(Arg, "--clean-cache") == 0) {
       CleanCache = true;
+    } else if (std::strcmp(Arg, "--gc-cache") == 0) {
+      GcCache = true;
+    } else if (std::strncmp(Arg, "--max-cache-bytes=", 18) == 0) {
+      char *End = nullptr;
+      MaxCacheBytes = std::strtoull(Arg + 18, &End, 10);
+      if (End == Arg + 18 || *End != '\0') {
+        std::fprintf(stderr, "driver: --max-cache-bytes wants a plain "
+                             "byte count, got '%s'\n",
+                     Arg + 18);
+        return 2;
+      }
+      SawMaxBytes = true;
+    } else if (std::strncmp(Arg, "--max-cache-age-days=", 21) == 0) {
+      char *End = nullptr;
+      MaxCacheAgeDays = std::strtod(Arg + 21, &End);
+      if (End == Arg + 21 || *End != '\0') {
+        std::fprintf(stderr, "driver: --max-cache-age-days wants a "
+                             "number of days, got '%s'\n",
+                     Arg + 21);
+        return 2;
+      }
+      SawMaxAge = true;
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       Only = splitList(Arg + 7);
     } else {
-      std::fprintf(stderr, "usage: driver [--list] [--only=name1,name2] "
-                           "[--clean-cache]\n");
+      std::fprintf(stderr,
+                   "usage: driver [--list] [--only=name1,name2] "
+                   "[--clean-cache] [--gc-cache] [--max-cache-bytes=N] "
+                   "[--max-cache-age-days=D]\n");
       return 2;
     }
+  }
+
+  // A GC bound without --gc-cache would be silently ignored and the
+  // whole experiment matrix would run instead; refuse the ambiguity.
+  if ((SawMaxBytes || SawMaxAge) && !GcCache) {
+    std::fprintf(stderr, "driver: --max-cache-bytes/--max-cache-age-days "
+                         "require --gc-cache\n");
+    return 2;
   }
 
   if (CleanCache) {
@@ -99,6 +144,30 @@ int main(int Argc, char **Argv) {
                 "(current format v%u)\n",
                 Store->dir().c_str(), Removed, Removed == 1 ? "y" : "ies",
                 exp::CacheStore::FormatVersion);
+    return 0;
+  }
+
+  if (GcCache) {
+    std::shared_ptr<exp::CacheStore> Store = exp::CacheStore::fromEnv();
+    if (!Store) {
+      std::fprintf(stderr, "driver: --gc-cache needs PBT_CACHE_DIR set\n");
+      return 2;
+    }
+    // Without ANY explicit bound, keep the store under a conservative
+    // default budget so a bare --gc-cache always does something
+    // useful. An explicit --max-cache-bytes=0 means "no size bound"
+    // (CacheStore::gc's documented semantics) and is honored as given.
+    if (!SawMaxBytes && !SawMaxAge)
+      MaxCacheBytes = 512ull << 20;
+    exp::CacheStore::GcStats Stats =
+        Store->gc(MaxCacheBytes, MaxCacheAgeDays * 86400.0);
+    std::printf("gc %s: scanned %zu entr%s (%llu bytes), evicted %zu "
+                "(%llu bytes reclaimed)\n",
+                Store->dir().c_str(), Stats.Scanned,
+                Stats.Scanned == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(Stats.BytesScanned),
+                Stats.Evicted,
+                static_cast<unsigned long long>(Stats.BytesEvicted));
     return 0;
   }
 

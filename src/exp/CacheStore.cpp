@@ -13,10 +13,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <dirent.h>
 #include <set>
 #include <sys/stat.h>
 #include <tuple>
+#include <utime.h>
 
 using namespace pbt;
 using namespace pbt::exp;
@@ -354,6 +356,82 @@ size_t CacheStore::cleanMismatchedVersions() {
   return Removed;
 }
 
+CacheStore::GcStats CacheStore::gc(uint64_t MaxBytes, double MaxAgeSeconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  GcStats Stats;
+
+  // Scan the directory for store entries: the same "suite-<16 hex>.pbt"
+  // + magic filter cleanMismatchedVersions uses, so foreign files are
+  // never touched. Sort by (mtime, path): mtime is the LRU clock
+  // (load() refreshes it on every hit), the path tie-break makes a
+  // pass deterministic for a given directory state.
+  struct Entry {
+    time_t Mtime;
+    uint64_t Bytes;
+    std::string Path;
+  };
+  std::vector<Entry> Entries;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Stats;
+  while (const dirent *DirEntry = ::readdir(D)) {
+    const char *Name = DirEntry->d_name;
+    size_t Len = std::strlen(Name);
+    if (Len != 26 || std::strncmp(Name, "suite-", 6) != 0 ||
+        std::strcmp(Name + Len - 4, ".pbt") != 0)
+      continue;
+    std::string Path = Dir + "/" + Name;
+    char Hdr[4];
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F)
+      continue;
+    size_t Got = std::fread(Hdr, 1, sizeof(Hdr), F);
+    std::fclose(F);
+    if (Got != sizeof(Hdr))
+      continue;
+    BinaryReader R(Hdr, sizeof(Hdr));
+    if (R.u32() != Magic)
+      continue; // Not one of ours after all.
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0)
+      continue;
+    Entries.push_back({St.st_mtime, static_cast<uint64_t>(St.st_size),
+                       std::move(Path)});
+  }
+  ::closedir(D);
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Mtime != B.Mtime)
+                return A.Mtime < B.Mtime;
+              return A.Path < B.Path;
+            });
+
+  uint64_t Total = 0;
+  for (const Entry &E : Entries) {
+    ++Stats.Scanned;
+    Stats.BytesScanned += E.Bytes;
+    Total += E.Bytes;
+  }
+
+  time_t Cutoff = 0;
+  if (MaxAgeSeconds > 0)
+    Cutoff = std::time(nullptr) - static_cast<time_t>(MaxAgeSeconds);
+
+  for (const Entry &E : Entries) {
+    bool TooOld = MaxAgeSeconds > 0 && E.Mtime < Cutoff;
+    bool OverBudget = MaxBytes > 0 && Total > MaxBytes;
+    if (!TooOld && !OverBudget)
+      break; // Oldest survivor found; everything newer survives too.
+    if (std::remove(E.Path.c_str()) != 0)
+      continue;
+    ++Stats.Evicted;
+    Stats.BytesEvicted += E.Bytes;
+    Total -= E.Bytes;
+  }
+  return Stats;
+}
+
 std::shared_ptr<const PreparedSuite>
 CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
                  const MachineConfig &Machine, const TechniqueSpec &Tech,
@@ -392,6 +470,10 @@ CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
   if (!Suite)
     return Reject();
   ++Hits;
+  // Refresh the entry's mtime: it is the LRU clock gc() evicts by, so
+  // a hit must mark the entry recently used (best-effort — a failed
+  // touch only ages the entry).
+  ::utime(pathFor(Key).c_str(), nullptr);
   return Suite;
 }
 

@@ -104,6 +104,26 @@ public:
   /// Backs `bench/driver --clean-cache`.
   size_t cleanMismatchedVersions();
 
+  /// Outcome of one gc() pass.
+  struct GcStats {
+    size_t Scanned = 0;       ///< Store entries examined.
+    uint64_t BytesScanned = 0; ///< Their total size.
+    size_t Evicted = 0;       ///< Entries deleted.
+    uint64_t BytesEvicted = 0; ///< Bytes reclaimed.
+  };
+
+  /// Age/size-based garbage collection over the store directory,
+  /// backing `bench/driver --gc-cache`. Recency is approximated by
+  /// file modification time, which load() refreshes on every hit, so
+  /// eviction order is least-recently-used. Two independent bounds:
+  /// entries older than \p MaxAgeSeconds are always evicted
+  /// (<= 0 disables the age bound), then the oldest remaining entries
+  /// are evicted until the store fits in \p MaxBytes (0 disables the
+  /// size bound). Only files with the store magic are touched; ties on
+  /// mtime break by path, so a pass is deterministic for a given
+  /// directory state.
+  GcStats gc(uint64_t MaxBytes, double MaxAgeSeconds = 0);
+
   const std::string &dir() const { return Dir; }
 
   /// Suites served from disk.

@@ -45,10 +45,12 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
   std::printf("== %s ==\n(reproduces %s; PBT_BENCH_SCALE=%.2f scales the "
               "simulated horizon)\n\n",
               Title.c_str(), PaperRef.c_str(), Scale);
-  // v3: sweeps[].cells[] gained the "scheduler" label (the OS
-  // scheduling-policy axis). v2 replaced live suite_cache counters with
-  // the grid-pure distinct_preparations — see docs/BENCH_SCHEMA.md.
-  Root["schema"] = "pbt-bench-v3";
+  // v4: sweeps[].cells[] gained the "scenario" label (the traffic-
+  // scenario axis), metrics gained the "latency" block and "p95_flow".
+  // v3 added the per-cell "scheduler" label; v2 replaced live
+  // suite_cache counters with the grid-pure distinct_preparations —
+  // see docs/BENCH_SCHEMA.md.
+  Root["schema"] = "pbt-bench-v4";
   Root["bench"] = Name;
   Root["title"] = std::move(Title);
   Root["paper_ref"] = std::move(PaperRef);
@@ -68,7 +70,8 @@ Lab &ExperimentHarness::customLab(std::vector<Program> Programs,
 
 namespace {
 
-Json runMetrics(const RunResult &Run, const FairnessMetrics &Fair) {
+Json runMetrics(const RunResult &Run, const FairnessMetrics &Fair,
+                const LatencyMetrics &Latency) {
   Json M = Json::object();
   M["instructions"] = Run.InstructionsRetired;
   M["switches"] = Run.TotalSwitches;
@@ -80,6 +83,18 @@ Json runMetrics(const RunResult &Run, const FairnessMetrics &Fair) {
   M["max_flow"] = Fair.MaxFlow;
   M["max_stretch"] = Fair.MaxStretch;
   M["avg_process_time"] = Fair.AvgProcessTime;
+  M["p95_flow"] = Fair.P95Flow;
+  Json L = Json::object();
+  L["jobs"] = Latency.Jobs;
+  L["mean_turnaround"] = Latency.MeanTurnaround;
+  L["p50_turnaround"] = Latency.P50Turnaround;
+  L["p95_turnaround"] = Latency.P95Turnaround;
+  L["p99_turnaround"] = Latency.P99Turnaround;
+  L["mean_slowdown"] = Latency.MeanSlowdown;
+  L["p95_slowdown"] = Latency.P95Slowdown;
+  L["max_slowdown"] = Latency.MaxSlowdown;
+  L["jobs_per_megacycle"] = Latency.JobsPerMegacycle;
+  M["latency"] = std::move(L);
   return M;
 }
 
@@ -118,21 +133,24 @@ Json workloadJson(const WorkloadSpec &Spec) {
 SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
   SweepResult Result = runSweep(L, Grid);
 
-  // The same normalized axis runSweep executed over, so Cell.Scheduler
-  // always labels the policy that actually ran.
+  // The same normalized axes runSweep executed over, so Cell.Scheduler
+  // and Cell.Scenario always label what actually ran.
   const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
+  const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
 
   Json Cells = Json::array();
   for (const SweepCell &Cell : Result.Cells) {
     Json C = Json::object();
     C["technique"] = techniqueJson(Grid.Techniques[Cell.Technique]);
     C["scheduler"] = Schedulers[Cell.Scheduler].label();
+    C["scenario"] = Scenarios[Cell.Scenario].label();
     C["workload"] = workloadJson(Grid.Workloads[Cell.Workload]);
     C["typing_seed"] = Grid.TypingSeeds[Cell.TypingSeed];
-    C["metrics"] = runMetrics(Cell.Run, Cell.Fair);
+    C["metrics"] = runMetrics(Cell.Run, Cell.Fair, Cell.Latency);
     if (Grid.WithBaseline) {
       C["baseline"] = runMetrics(Result.base(Cell),
-                                 Result.BaselineFair[Cell.Workload]);
+                                 Result.BaselineFair[Cell.Workload],
+                                 Result.BaselineLatency[Cell.Workload]);
       Comparison Cmp = Result.comparison(Cell);
       Json Vs = Json::object();
       Vs["throughput_pct"] = Cmp.throughputImprovement();
@@ -148,8 +166,9 @@ SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
   // distinct (preparation, typing seed) pairs it references, plus the
   // baseline — always prepared, since runSweep measures isolated
   // runtimes through the cache even for WithBaseline = false grids. The
-  // scheduler axis is deliberately absent: policies only steer replays,
-  // so scheduler-only grids need one preparation. A pure function of
+  // scheduler and scenario axes are deliberately absent: policies and
+  // traffic scenarios only steer replays, so sweeps over those axes
+  // alone need one preparation. A pure function of
   // the grid — unlike raw cache counters it does not depend on what ran
   // earlier in the process, so artifacts stay byte-identical between
   // standalone binaries and the one-process driver (whose warm labs may

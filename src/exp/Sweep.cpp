@@ -31,10 +31,17 @@ const std::vector<SchedulerSpec> &SweepGrid::effectiveSchedulers() const {
   return Schedulers.empty() ? DefaultSchedulers : Schedulers;
 }
 
+const std::vector<ScenarioSpec> &SweepGrid::effectiveScenarios() const {
+  // An empty scenario axis means the classic batch-at-zero grid.
+  static const std::vector<ScenarioSpec> DefaultScenarios = {ScenarioSpec()};
+  return Scenarios.empty() ? DefaultScenarios : Scenarios;
+}
+
 SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
   SweepResult Result;
   const std::vector<double> &Iso = L.isolated();
   const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
+  const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
 
   // Prepare every distinct (technique, typing seed) once, through the
   // suite cache: variants sharing a preparation (e.g. tuner-only sweeps)
@@ -61,60 +68,69 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
   // One flat batch: baseline replays first, then all cells. Every job is
   // an independent simulation, so batch execution is bit-identical to
   // running them back to back. Baselines always replay under the
-  // oblivious scheduler — the paper's fixed reference point. A cell that
-  // IS that reference point (baseline technique under the oblivious
-  // scheduler, with a baseline job for its workload in the batch) would
-  // simulate the identical replay twice; it reuses the baseline's
-  // result instead (bit-identical by construction: same images, same
-  // tuner, same queues, same policy).
+  // oblivious scheduler and the batch scenario — the paper's fixed
+  // reference point. A cell that IS that reference point (baseline
+  // technique, oblivious scheduler, batch scenario, with a baseline job
+  // for its workload in the batch) would simulate the identical replay
+  // twice; it reuses the baseline's result instead (bit-identical by
+  // construction: same images, same tuner, same queues, same policy).
   std::vector<WorkloadJob> Jobs;
   size_t BaselineJobs = Grid.WithBaseline ? Grid.Workloads.size() : 0;
   for (size_t W = 0; W < BaselineJobs; ++W)
     Jobs.push_back({&BaselineSuite, &Workloads[W], &L.machine(), L.sim(),
-                    Grid.Workloads[W].Horizon, &Iso, SchedulerSpec()});
+                    Grid.Workloads[W].Horizon, &Iso, SchedulerSpec(),
+                    ScenarioSpec()});
   std::vector<size_t> CellJob; // Per cell: index into Jobs.
   for (size_t T = 0; T < Grid.Techniques.size(); ++T)
     for (size_t W = 0; W < Grid.Workloads.size(); ++W)
       for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
-        for (size_t C = 0; C < Schedulers.size(); ++C) {
-          if (Grid.WithBaseline &&
-              Grid.Techniques[T] == TechniqueSpec::baseline() &&
-              Schedulers[C] == SchedulerSpec()) {
-            CellJob.push_back(W); // The workload's baseline job.
-            continue;
+        for (size_t C = 0; C < Schedulers.size(); ++C)
+          for (size_t N = 0; N < Scenarios.size(); ++N) {
+            if (Grid.WithBaseline &&
+                Grid.Techniques[T] == TechniqueSpec::baseline() &&
+                Schedulers[C] == SchedulerSpec() &&
+                Scenarios[N] == ScenarioSpec()) {
+              CellJob.push_back(W); // The workload's baseline job.
+              continue;
+            }
+            const PreparedSuite &Suite =
+                Suites[T * Grid.TypingSeeds.size() + S];
+            CellJob.push_back(Jobs.size());
+            Jobs.push_back({&Suite, &Workloads[W], &L.machine(), L.sim(),
+                            Grid.Workloads[W].Horizon, &Iso,
+                            Schedulers[C], Scenarios[N]});
           }
-          const PreparedSuite &Suite =
-              Suites[T * Grid.TypingSeeds.size() + S];
-          CellJob.push_back(Jobs.size());
-          Jobs.push_back({&Suite, &Workloads[W], &L.machine(), L.sim(),
-                          Grid.Workloads[W].Horizon, &Iso,
-                          Schedulers[C]});
-        }
   std::vector<RunResult> Runs = runWorkloads(Jobs);
 
   for (size_t W = 0; W < BaselineJobs; ++W) {
     Result.Baselines.push_back(std::move(Runs[W]));
     Result.BaselineFair.push_back(
         computeFairness(Result.Baselines.back().Completed));
+    Result.BaselineLatency.push_back(
+        computeLatency(Result.Baselines.back(), L.machine()));
   }
 
   size_t Next = 0;
   for (size_t T = 0; T < Grid.Techniques.size(); ++T)
     for (size_t W = 0; W < Grid.Workloads.size(); ++W)
       for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
-        for (size_t C = 0; C < Schedulers.size(); ++C) {
-          SweepCell Cell;
-          Cell.Technique = static_cast<uint32_t>(T);
-          Cell.Workload = static_cast<uint32_t>(W);
-          Cell.TypingSeed = static_cast<uint32_t>(S);
-          Cell.Scheduler = static_cast<uint32_t>(C);
-          size_t Job = CellJob[Next++];
-          // Baseline jobs were moved into Result.Baselines above; cells
-          // reusing one copy it, cells with their own job take it.
-          Cell.Run = Job < BaselineJobs ? Result.Baselines[Job]
-                                        : std::move(Runs[Job]);
-          Cell.Fair = computeFairness(Cell.Run.Completed);
-          Result.Cells.push_back(std::move(Cell));
-        }
+        for (size_t C = 0; C < Schedulers.size(); ++C)
+          for (size_t N = 0; N < Scenarios.size(); ++N) {
+            SweepCell Cell;
+            Cell.Technique = static_cast<uint32_t>(T);
+            Cell.Workload = static_cast<uint32_t>(W);
+            Cell.TypingSeed = static_cast<uint32_t>(S);
+            Cell.Scheduler = static_cast<uint32_t>(C);
+            Cell.Scenario = static_cast<uint32_t>(N);
+            size_t Job = CellJob[Next++];
+            // Baseline jobs were moved into Result.Baselines above;
+            // cells reusing one copy it, cells with their own job take
+            // it.
+            Cell.Run = Job < BaselineJobs ? Result.Baselines[Job]
+                                          : std::move(Runs[Job]);
+            Cell.Fair = computeFairness(Cell.Run.Completed);
+            Cell.Latency = computeLatency(Cell.Run, L.machine());
+            Result.Cells.push_back(std::move(Cell));
+          }
   return Result;
 }

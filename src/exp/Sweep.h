@@ -21,6 +21,7 @@
 #define PBT_EXP_SWEEP_H
 
 #include "exp/Lab.h"
+#include "metrics/Latency.h"
 
 #include <cassert>
 #include <cstdint>
@@ -43,8 +44,8 @@ struct WorkloadSpec {
 };
 
 /// Axes of one sweep. Cells enumerate Techniques x Workloads x
-/// TypingSeeds x Schedulers (machines are handled one Lab at a time; see
-/// ExperimentHarness::sweep for the machine axis).
+/// TypingSeeds x Schedulers x Scenarios (machines are handled one Lab at
+/// a time; see ExperimentHarness::sweep for the machine axis).
 struct SweepGrid {
   std::vector<TechniqueSpec> Techniques;
   std::vector<WorkloadSpec> Workloads;
@@ -58,6 +59,11 @@ struct SweepGrid {
   /// replays the same cached images under each policy and never
   /// re-runs the static pipeline.
   std::vector<SchedulerSpec> Schedulers = {SchedulerSpec()};
+  /// Traffic-scenario axis; the default single batch entry is the
+  /// classic closed-system behaviour (an empty vector is treated the
+  /// same). Like the scheduler axis it is a pure replay-time knob —
+  /// scenario-only sweeps replay cached images with zero preparations.
+  std::vector<ScenarioSpec> Scenarios = {ScenarioSpec()};
   /// Also replay each workload under the uninstrumented baseline (once
   /// per workload, shared across techniques) so cells can report
   /// vs-baseline deltas. The baseline is always the paper's reference
@@ -70,6 +76,10 @@ struct SweepGrid {
   /// SweepCell::Scheduler through this one accessor, so labels can
   /// never drift from what actually ran.
   const std::vector<SchedulerSpec> &effectiveSchedulers() const;
+
+  /// The scenario axis with the empty-vector default applied (the same
+  /// single-accessor contract as effectiveSchedulers).
+  const std::vector<ScenarioSpec> &effectiveScenarios() const;
 };
 
 /// One executed cell: axis indices plus the canonical run results.
@@ -81,17 +91,22 @@ struct SweepCell {
   /// into Schedulers whenever the axis was set explicitly, but always
   /// valid even for a grid whose Schedulers vector was cleared.
   uint32_t Scheduler = 0;
+  /// Index into SweepGrid::effectiveScenarios() (same contract).
+  uint32_t Scenario = 0;
   RunResult Run;           ///< Canonical replay result of this cell.
   FairnessMetrics Fair;    ///< Fairness metrics over Run's completions.
+  LatencyMetrics Latency;  ///< Latency/throughput metrics of Run.
 };
 
 /// All cells of one grid on one machine, in technique-major order
-/// (technique, then workload, then typing seed, then scheduler).
+/// (technique, then workload, then typing seed, then scheduler, then
+/// scenario).
 struct SweepResult {
   std::vector<SweepCell> Cells;
   /// Baseline replay per workload index (empty without WithBaseline).
   std::vector<RunResult> Baselines;
   std::vector<FairnessMetrics> BaselineFair;
+  std::vector<LatencyMetrics> BaselineLatency;
 
   /// True when the grid ran with WithBaseline; base()/comparison()/
   /// throughputImprovement() may only be called when this holds.

@@ -29,6 +29,9 @@ struct FairnessMetrics {
   double MaxFlow = 0;
   double MaxStretch = 0;
   double AvgProcessTime = 0;
+  /// 95th-percentile flow time (tail fairness; support/Statistics
+  /// percentile(), linear-interpolated).
+  double P95Flow = 0;
   size_t Jobs = 0;
 };
 

@@ -115,8 +115,23 @@ uint64_t Machine::totalInstructions() const {
   return Total;
 }
 
+void Machine::scheduleAt(double Time, std::function<void(Machine &)> Fn) {
+  Events.emplace(Time, std::move(Fn));
+}
+
 void Machine::run(double Until) {
   while (Now < Until) {
+    // Deterministic mid-run injection: fire every event due by now, in
+    // (time, insertion) order, before balancing — an arrival landing on
+    // a balance instant is visible to the balancer, and batch arrivals
+    // at time zero reproduce the classic spawn-before-run state bit for
+    // bit.
+    while (!Events.empty() && Events.begin()->first <= Now) {
+      std::function<void(Machine &)> Fn = std::move(Events.begin()->second);
+      Events.erase(Events.begin());
+      Fn(*this);
+    }
+
     if (Now >= NextBalance) {
       Policy->balance(*this);
       NextBalance = Now + Sim.BalancePeriod;

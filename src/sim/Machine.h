@@ -108,6 +108,21 @@ public:
                  int32_t Slot = -1, uint64_t InitialAffinity = 0,
                  std::shared_ptr<const FlatImage> Flat = nullptr);
 
+  /// Schedules \p Fn for deterministic mid-run injection at simulated
+  /// time \p Time: it fires at the start of the first quantum whose
+  /// clock has reached \p Time — before the balance check, so a policy
+  /// balancing at that instant already sees the injected work. Events
+  /// fire in (time, insertion order); a callback may spawn processes
+  /// (the traffic-scenario layer injects job arrivals this way, firing
+  /// the policy's onSpawn hook exactly like a direct spawn) or schedule
+  /// further events. Events beyond the current run() window stay
+  /// pending for later calls. Scheduling at or before now() fires at
+  /// the next quantum start.
+  void scheduleAt(double Time, std::function<void(Machine &)> Fn);
+
+  /// Events scheduled but not yet fired.
+  size_t pendingEvents() const { return Events.size(); }
+
   /// Advances simulated time to \p Until (absolute seconds).
   void run(double Until);
 
@@ -192,6 +207,10 @@ private:
   SimConfig Sim;
   std::unique_ptr<SchedulerPolicy> Policy;
   ExitHandler OnExit;
+  /// Pending injection events, ordered by (time, insertion order) —
+  /// multimap preserves insertion order among equal keys, which is what
+  /// keeps same-instant arrivals deterministic.
+  std::multimap<double, std::function<void(Machine &)>> Events;
   CounterManager Counters;
   double Now = 0;
   double NextBalance = 0;

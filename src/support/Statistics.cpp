@@ -64,6 +64,19 @@ double pbt::quantile(std::vector<double> Values, double Q) {
   return interpolatedQuantile(Values, Q);
 }
 
+double pbt::percentile(std::vector<double> Values, double Pct) {
+  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile out of range");
+  return quantile(std::move(Values), Pct / 100.0);
+}
+
+double pbt::percentileSorted(const std::vector<double> &Sorted,
+                             double Pct) {
+  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile out of range");
+  assert(std::is_sorted(Sorted.begin(), Sorted.end()) &&
+         "percentileSorted needs a sorted sample");
+  return interpolatedQuantile(Sorted, Pct / 100.0);
+}
+
 double pbt::geomean(const std::vector<double> &Values) {
   if (Values.empty())
     return 0;

@@ -45,6 +45,17 @@ double stddev(const std::vector<double> &Values);
 /// Asserts on empty input.
 double quantile(std::vector<double> Values, double Q);
 
+/// Percentile \p Pct in [0,100] of \p Values: quantile(Pct / 100),
+/// linear interpolation between order statistics (type-7), fully
+/// deterministic. Asserts on empty input and out-of-range Pct. The one
+/// definition shared by the latency and fairness metrics.
+double percentile(std::vector<double> Values, double Pct);
+
+/// percentile() over an ALREADY SORTED sample, without copying or
+/// re-sorting — for callers reading several percentiles off one sort.
+/// Asserts the same preconditions (plus sortedness, in debug builds).
+double percentileSorted(const std::vector<double> &Sorted, double Pct);
+
 /// Geometric mean; asserts all values are positive. 0 for empty input.
 double geomean(const std::vector<double> &Values);
 

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <deque>
 
 using namespace pbt;
 
@@ -150,6 +151,7 @@ CompletedJob pbt::runIsolated(const PreparedSuite &Suite, uint32_t Bench,
   CompletedJob Job;
   Job.Bench = Bench;
   Job.Arrival = P.ArrivalTime;
+  Job.Admitted = P.ArrivalTime;
   Job.Completion = P.CompletionTime;
   Job.Stats = P.Stats;
   return Job;
@@ -159,47 +161,122 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
                            const MachineConfig &MachineCfg,
                            const SimConfig &Sim, double Horizon,
                            const std::vector<double> &Isolated,
-                           const SchedulerSpec &Sched) {
+                           const SchedulerSpec &Sched,
+                           const ScenarioSpec &Scenario) {
   RunResult Result;
   Result.Horizon = Horizon;
 
   Machine M(MachineCfg, Sim, Sched.makeScheduler());
 
-  // Per-slot cursor into the job queues; on exit, start the next job of
-  // the finished process's slot (constant workload size).
-  std::vector<uint32_t> NextJob(W.numSlots(), 0);
   std::vector<uint32_t> BenchOfPid;
+  /// Scheduled arrival instant per pid for open-scenario jobs
+  /// (negative sentinel for batch jobs, whose arrival IS the spawn).
+  std::vector<double> ArrivalOfPid;
+  uint32_t Done = 0;
 
+  auto Spawn = [&](uint32_t Bench, uint64_t Seed, int32_t Slot,
+                   double Arrival) {
+    M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner, Seed,
+            Slot, /*InitialAffinity=*/0, Suite.Flats[Bench]);
+    BenchOfPid.push_back(Bench);
+    ArrivalOfPid.push_back(Arrival);
+  };
+
+  auto Record = [&](Process &P) {
+    CompletedJob Job;
+    Job.Bench = BenchOfPid[P.Pid];
+    Job.Slot = P.Slot;
+    // Open-scenario jobs count from their scheduled arrival, so
+    // turnaround includes door-queue and quantum-alignment wait; batch
+    // jobs count from the spawn, the classic closed-system convention.
+    Job.Arrival =
+        ArrivalOfPid[P.Pid] >= 0 ? ArrivalOfPid[P.Pid] : P.ArrivalTime;
+    Job.Admitted = P.ArrivalTime;
+    Job.Completion = P.CompletionTime;
+    if (Job.Bench < Isolated.size())
+      Job.Isolated = Isolated[Job.Bench];
+    Job.Stats = P.Stats;
+    Result.Completed.push_back(Job);
+    ++Done;
+  };
+
+  // Per-slot cursor into the batch job queues; on exit, start the next
+  // job of the finished process's slot (constant workload size). Only
+  // the batch scenario uses the workload's queues.
+  std::vector<uint32_t> NextJob(W.numSlots(), 0);
   auto SpawnSlot = [&](uint32_t Slot) {
     uint32_t Index = NextJob[Slot];
     if (Index >= W.Slots[Slot].size())
       return; // Queue exhausted (workloads should be sized to avoid this).
     ++NextJob[Slot];
     uint32_t Bench = W.Slots[Slot][Index];
-    M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner,
-            W.jobSeed(Slot, Index), static_cast<int32_t>(Slot),
-            /*InitialAffinity=*/0, Suite.Flats[Bench]);
-    BenchOfPid.push_back(Bench);
+    Spawn(Bench, W.jobSeed(Slot, Index), static_cast<int32_t>(Slot),
+          /*Arrival=*/-1.0);
   };
 
-  M.setExitHandler([&](Machine &, Process &P) {
-    CompletedJob Job;
-    Job.Bench = BenchOfPid[P.Pid];
-    Job.Slot = P.Slot;
-    Job.Arrival = P.ArrivalTime;
-    Job.Completion = P.CompletionTime;
-    if (Job.Bench < Isolated.size())
-      Job.Isolated = Isolated[Job.Bench];
-    Job.Stats = P.Stats;
-    Result.Completed.push_back(Job);
-    if (P.Slot >= 0)
-      SpawnSlot(static_cast<uint32_t>(P.Slot));
-  });
+  // Open-scenario state: the materialized arrival schedule, plus the
+  // door queue of arrivals deferred by the multiprogramming cap.
+  std::vector<ScenarioArrival> Arrivals;
+  std::deque<ScenarioArrival> Deferred;
+  uint32_t InFlight = 0;
+  auto Admit = [&](const ScenarioArrival &A) {
+    Spawn(A.Bench, A.Seed, /*Slot=*/-1, A.Time);
+    ++InFlight;
+  };
 
-  for (uint32_t Slot = 0; Slot < W.numSlots(); ++Slot)
-    SpawnSlot(Slot);
+  if (Scenario.isBatch()) {
+    M.setExitHandler([&](Machine &, Process &P) {
+      Record(P);
+      if (P.Slot >= 0)
+        SpawnSlot(static_cast<uint32_t>(P.Slot));
+    });
+    // The initial jobs arrive through the machine's injection list at
+    // time zero — they spawn at the first quantum start, before any
+    // balancing or execution, producing the exact state the classic
+    // spawn-before-run loop did (tests/scenario_test.cpp proves the
+    // replays bit-identical).
+    for (uint32_t Slot = 0; Slot < W.numSlots(); ++Slot)
+      M.scheduleAt(0.0, [&SpawnSlot, Slot](Machine &) { SpawnSlot(Slot); });
+  } else {
+    Arrivals = scenarioArrivals(
+        Scenario, static_cast<uint32_t>(Suite.Images.size()), Horizon);
+    M.setExitHandler([&](Machine &, Process &P) {
+      Record(P);
+      --InFlight;
+      if (!Deferred.empty() &&
+          (Scenario.MaxInFlight == 0 || InFlight < Scenario.MaxInFlight)) {
+        Admit(Deferred.front());
+        Deferred.pop_front();
+      }
+    });
+    for (const ScenarioArrival &A : Arrivals)
+      M.scheduleAt(A.Time, [&, A](Machine &) {
+        if (Scenario.MaxInFlight > 0 && InFlight >= Scenario.MaxInFlight)
+          Deferred.push_back(A);
+        else
+          Admit(A);
+      });
+  }
 
-  M.run(Horizon);
+  if (Scenario.isBatch() && Scenario.MaxJobs == 0) {
+    // The classic run: one call, unchanged floating-point clock walk.
+    M.run(Horizon);
+  } else {
+    // Stop-rule runs advance quantum by quantum so the run ends at the
+    // end of the quantum that satisfied the rule. The chunked clock
+    // walk is bit-identical to one run(Horizon) call: Until is always
+    // the exact value the internal Now accumulation reaches next.
+    uint32_t Stream = static_cast<uint32_t>(Arrivals.size());
+    auto Stopped = [&] {
+      if (Scenario.MaxJobs > 0 && Done >= Scenario.MaxJobs)
+        return true;
+      // An open run whose whole stream completed has nothing left.
+      return !Scenario.isBatch() && Done >= Stream;
+    };
+    while (M.now() < Horizon && !Stopped())
+      M.run(M.now() + Sim.Timeslice);
+    Result.Horizon = M.now();
+  }
 
   Result.InstructionsRetired = M.totalInstructions();
   for (uint32_t Core = 0; Core < MachineCfg.numCores(); ++Core)
@@ -238,7 +315,7 @@ pbt::runWorkloads(const std::vector<WorkloadJob> &Jobs) {
     Results[I] = runWorkload(*Job.Suite, *Job.W, *Job.Machine, Job.Sim,
                              Job.Horizon,
                              Job.Isolated ? *Job.Isolated : NoIsolated,
-                             Job.Sched);
+                             Job.Sched, Job.Scenario);
   });
   return Results;
 }

@@ -19,6 +19,7 @@
 #include "core/Instrument.h"
 #include "core/Transitions.h"
 #include "core/Tuner.h"
+#include "scenario/Scenario.h"
 #include "sim/Machine.h"
 #include "support/ThreadPool.h"
 #include "workload/Workload.h"
@@ -136,7 +137,15 @@ std::vector<double> isolatedRuntimes(const PreparedSuite &BaselineSuite,
 struct CompletedJob {
   uint32_t Bench = 0;
   int32_t Slot = -1;
+  /// When the job arrived: for open scenarios the *scheduled* arrival
+  /// instant of the stream — turnaround and slowdown include any
+  /// door-queue (MaxInFlight) and quantum-alignment wait — and for
+  /// batch runs the spawn time, as always.
   double Arrival = 0;
+  /// When the job entered the machine (spawn). Equals Arrival for
+  /// batch runs; >= Arrival for open scenarios (Admitted - Arrival is
+  /// the admission delay).
+  double Admitted = 0;
   double Completion = 0;
   /// Isolated runtime t_i of the benchmark (0 when not supplied).
   double Isolated = 0;
@@ -145,6 +154,10 @@ struct CompletedJob {
 
 /// Outcome of a workload run.
 struct RunResult {
+  /// Simulated end of the run: the requested horizon for classic batch
+  /// runs without a stop rule; the actual clock (quantized to whole
+  /// timeslices) for open-scenario runs and for any run with a
+  /// job-count stop rule, which may end early.
   double Horizon = 0;
   /// Instructions retired machine-wide within the horizon (throughput).
   uint64_t InstructionsRetired = 0;
@@ -161,16 +174,22 @@ struct RunResult {
 
 /// Replays \p W on \p MachineCfg for \p Horizon simulated seconds under
 /// the OS policy named by \p Sched (the oblivious Linux-like baseline by
-/// default — the exact policy every pre-scheduler-axis experiment ran).
-/// \p Isolated, when non-empty, supplies per-benchmark t_i values copied
-/// into CompletedJob::Isolated. RunResult::Completed is canonically
-/// ordered (completion time, then slot/arrival/bench as tie-breaks) so
-/// downstream tables are stable however the run was scheduled.
+/// default — the exact policy every pre-scheduler-axis experiment ran)
+/// and the traffic scenario \p Scenario (batch-at-zero by default — the
+/// classic closed system, bit-identical to the pre-scenario path; open
+/// scenarios ignore \p W's queues entirely and draw their own seeded
+/// job stream over the suite). \p Isolated, when non-empty,
+/// supplies per-benchmark t_i values copied into CompletedJob::Isolated
+/// (the slowdown oracle of metrics/Latency). RunResult::Completed is
+/// canonically ordered (completion time, then slot/arrival/bench as
+/// tie-breaks) so downstream tables are stable however the run was
+/// scheduled.
 RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
                       const MachineConfig &MachineCfg, const SimConfig &Sim,
                       double Horizon,
                       const std::vector<double> &Isolated = {},
-                      const SchedulerSpec &Sched = SchedulerSpec());
+                      const SchedulerSpec &Sched = SchedulerSpec(),
+                      const ScenarioSpec &Scenario = ScenarioSpec());
 
 /// One workload replay request for the parallel runner. Pointees must
 /// outlive the runWorkloads call.
@@ -184,6 +203,8 @@ struct WorkloadJob {
   const std::vector<double> *Isolated = nullptr;
   /// OS scheduling policy of this replay (oblivious by default).
   SchedulerSpec Sched;
+  /// Traffic scenario of this replay (classic batch-at-zero by default).
+  ScenarioSpec Scenario;
 };
 
 /// Replays all jobs concurrently on the global thread pool. Each job is

@@ -32,6 +32,7 @@ inline void expectRunsIdentical(const RunResult &A, const RunResult &B) {
     EXPECT_EQ(A.Completed[I].Bench, B.Completed[I].Bench);
     EXPECT_EQ(A.Completed[I].Slot, B.Completed[I].Slot);
     EXPECT_DOUBLE_EQ(A.Completed[I].Arrival, B.Completed[I].Arrival);
+    EXPECT_DOUBLE_EQ(A.Completed[I].Admitted, B.Completed[I].Admitted);
     EXPECT_DOUBLE_EQ(A.Completed[I].Completion, B.Completed[I].Completion);
     EXPECT_DOUBLE_EQ(A.Completed[I].Stats.CyclesConsumed,
                      B.Completed[I].Stats.CyclesConsumed);

@@ -16,6 +16,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <utime.h>
 
 using namespace pbt;
 using namespace pbt::exp;
@@ -365,11 +367,16 @@ TEST(HarnessTest, SchedulerLabelsRecordedPreparationsExcludeAxis) {
   G.Workloads = {{4, 10, 5, 64}};
   H.sweep(H.lab(MachineConfig::quadAsymmetric()), G);
   std::string Artifact = H.json().dump(0);
-  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v3\""), std::string::npos);
+  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v4\""), std::string::npos);
   EXPECT_NE(Artifact.find("\"scheduler\":\"oblivious\""),
             std::string::npos);
   EXPECT_NE(Artifact.find("\"scheduler\":\"fastest-first\""),
             std::string::npos);
+  // Every cell of a classic grid carries the default scenario label and
+  // the latency block (v4 additions).
+  EXPECT_NE(Artifact.find("\"scenario\":\"batch\""), std::string::npos);
+  EXPECT_NE(Artifact.find("\"latency\":{\"jobs\":"), std::string::npos);
+  EXPECT_NE(Artifact.find("\"p95_flow\":"), std::string::npos);
   // One technique preparation + the baseline: the two schedulers add
   // nothing.
   EXPECT_NE(Artifact.find("\"distinct_preparations\":2"),
@@ -625,6 +632,115 @@ TEST(CacheStoreTest, CleanMismatchedVersionsRemovesOnlyStaleEntries) {
   EXPECT_TRUE(Store.load(Key, ProgramsHash, MC, Tech, 42) != nullptr)
       << "current-version entry untouched";
   std::remove(ForeignPath.c_str());
+}
+
+namespace {
+
+/// Pins \p Path's mtime to \p SecondsAgo before now (the LRU clock
+/// gc() sorts by).
+void setFileAge(const std::string &Path, long SecondsAgo) {
+  struct utimbuf Times;
+  Times.actime = Times.modtime = std::time(nullptr) - SecondsAgo;
+  ASSERT_EQ(::utime(Path.c_str(), &Times), 0) << Path;
+}
+
+uint64_t fileBytes(const std::string &Path) {
+  std::string Bytes;
+  return readFile(Path, Bytes) ? Bytes.size() : 0;
+}
+
+/// Three distinct entries in a fresh GC-test store, oldest first.
+/// Returns their paths; entry I's mtime is (3 - I) hours ago.
+std::vector<std::string> populateGcStore(CacheStore &Store) {
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+  std::vector<std::string> Paths;
+  for (uint32_t I = 0; I < 3; ++I) {
+    TechniqueSpec Tech = loopTechnique();
+    Tech.Transition.MinSize = 40 + I; // Distinct preparations.
+    uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
+    EXPECT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42,
+                           prepareSuite(Programs, MC, Tech, 42)));
+    Paths.push_back(Store.pathFor(Key));
+    setFileAge(Paths.back(), (3 - I) * 3600L);
+  }
+  return Paths;
+}
+
+bool fileExists(const std::string &Path) {
+  std::string Bytes;
+  return readFile(Path, Bytes);
+}
+
+} // namespace
+
+// Size-bound GC evicts least-recently-used entries first and stops as
+// soon as the store fits the budget.
+TEST(CacheStoreTest, GcEvictsLeastRecentlyUsedBeyondSizeBudget) {
+  CacheStore Store("exp_test_gc_size.cache");
+  std::vector<std::string> Paths = populateGcStore(Store);
+  ASSERT_EQ(Paths.size(), 3u);
+
+  // Budget exactly fits the two newest entries: only the oldest goes.
+  uint64_t Budget = fileBytes(Paths[1]) + fileBytes(Paths[2]);
+  CacheStore::GcStats Stats = Store.gc(Budget);
+  EXPECT_EQ(Stats.Scanned, 3u);
+  EXPECT_EQ(Stats.Evicted, 1u);
+  EXPECT_GT(Stats.BytesEvicted, 0u);
+  EXPECT_FALSE(fileExists(Paths[0])) << "LRU entry must be evicted";
+  EXPECT_TRUE(fileExists(Paths[1]));
+  EXPECT_TRUE(fileExists(Paths[2]));
+
+  // An unbounded pass (no size, no age) evicts nothing.
+  Stats = Store.gc(/*MaxBytes=*/0);
+  EXPECT_EQ(Stats.Evicted, 0u);
+  EXPECT_EQ(Stats.Scanned, 2u);
+}
+
+// Age-bound GC evicts every entry older than the cutoff, even when the
+// size budget is satisfied; foreign files are never touched.
+TEST(CacheStoreTest, GcAgeBoundEvictsOldEntriesOnly) {
+  CacheStore Store("exp_test_gc_age.cache");
+  std::vector<std::string> Paths = populateGcStore(Store);
+  std::string ForeignPath = Store.dir() + "/suite-0000000000000000.txt";
+  ASSERT_TRUE(writeFileAtomic(ForeignPath, "not a store file"));
+
+  // Cutoff at 2.5 hours: the 3-hour entry goes, the 2- and 1-hour
+  // entries stay.
+  CacheStore::GcStats Stats = Store.gc(/*MaxBytes=*/0,
+                                       /*MaxAgeSeconds=*/2.5 * 3600);
+  EXPECT_EQ(Stats.Evicted, 1u);
+  EXPECT_FALSE(fileExists(Paths[0]));
+  EXPECT_TRUE(fileExists(Paths[1]));
+  EXPECT_TRUE(fileExists(Paths[2]));
+  EXPECT_TRUE(fileExists(ForeignPath)) << "foreign file untouched";
+  std::remove(ForeignPath.c_str());
+}
+
+// load() refreshes the entry's mtime, so a hit protects an entry from
+// the next GC pass — the property that makes mtime an LRU clock.
+TEST(CacheStoreTest, LoadRefreshesLruRecency) {
+  CacheStore Store("exp_test_gc_lru.cache");
+  std::vector<std::string> Paths = populateGcStore(Store);
+
+  // Touch the oldest entry through a real load.
+  std::vector<Program> Programs = smallSuite();
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
+  TechniqueSpec Oldest = loopTechnique();
+  Oldest.Transition.MinSize = 40;
+  uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Oldest, 42);
+  ASSERT_TRUE(Store.load(Key, ProgramsHash, MC, Oldest, 42) != nullptr);
+
+  // A budget fitting two entries must now evict Paths[1] (MinSize 41,
+  // the new LRU), not the freshly used Paths[0].
+  uint64_t Budget = fileBytes(Paths[0]) + fileBytes(Paths[2]);
+  CacheStore::GcStats Stats = Store.gc(Budget);
+  EXPECT_EQ(Stats.Evicted, 1u);
+  EXPECT_TRUE(fileExists(Paths[0])) << "recently hit entry survives";
+  EXPECT_FALSE(fileExists(Paths[1])) << "unused entry is the LRU victim";
+  EXPECT_TRUE(fileExists(Paths[2]));
 }
 
 // A SuiteCache with an attached store serves cross-"process" requests

@@ -125,6 +125,7 @@ RunResult preRefactorRun(const PreparedSuite &Suite, const Workload &W,
     Job.Bench = BenchOfPid[P.Pid];
     Job.Slot = P.Slot;
     Job.Arrival = P.ArrivalTime;
+    Job.Admitted = P.ArrivalTime;
     Job.Completion = P.CompletionTime;
     Job.Stats = P.Stats;
     Result.Completed.push_back(Job);
@@ -432,6 +433,114 @@ TEST(IpcSampling, ReassignsComputeWorkTowardFastCores) {
 //===----------------------------------------------------------------------===//
 // Telemetry bookkeeping
 //===----------------------------------------------------------------------===//
+
+// Zero-cycle edge cases of the telemetry accessors: a fresh (or never
+// run) process must read as unsampled everywhere without dividing by
+// zero, and accumulated instructions without cycles (degenerate) must
+// not produce an IPC.
+TEST(Telemetry, ZeroCycleWindowsReadAsUnsampled) {
+  SchedTelemetry T;
+  T.InstsByType.resize(2, 0);
+  T.CyclesByType.resize(2, 0.0);
+  EXPECT_DOUBLE_EQ(T.ipcOn(0), 0.0);
+  EXPECT_DOUBLE_EQ(T.ipcOn(1), 0.0);
+  EXPECT_TRUE(T.sampled(0, 0)) << "zero-threshold sampling is trivial";
+  EXPECT_FALSE(T.sampled(0, 1));
+  // Instructions without cycles must not fabricate an IPC.
+  T.InstsByType[0] = 100;
+  EXPECT_DOUBLE_EQ(T.ipcOn(0), 0.0);
+
+  // And the machine-maintained telemetry of a spawned-but-never-run
+  // process is exactly that all-zero state.
+  Program Prog = loopProgram(100);
+  auto Image = plainImage(Prog);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  auto Cost = std::make_shared<const CostModel>(Prog, MC);
+  Machine M(MC, SimConfig(), std::make_unique<ObliviousScheduler>());
+  uint32_t Pid = M.spawn(Image, Cost, TunerConfig(), 1);
+  const SchedTelemetry &Fresh = M.telemetry(Pid);
+  ASSERT_EQ(Fresh.InstsByType.size(), MC.numCoreTypes());
+  ASSERT_EQ(Fresh.CyclesByType.size(), MC.numCoreTypes());
+  EXPECT_DOUBLE_EQ(Fresh.WindowIpc, 0.0);
+  for (uint32_t Ct = 0; Ct < MC.numCoreTypes(); ++Ct) {
+    EXPECT_EQ(Fresh.InstsByType[Ct], 0u);
+    EXPECT_DOUBLE_EQ(Fresh.CyclesByType[Ct], 0.0);
+  }
+}
+
+// After a cross-type migration the per-type accumulators keep both
+// types' history and the window IPC describes the *last* window: its
+// core type must be one the process actually accumulated cycles on.
+TEST(Telemetry, IpcFollowsLastWindowAfterMigration) {
+  MachineConfig MC;
+  MC.CoreTypes = {{"fast", 2.4e6, 4096}, {"slow", 1.6e6, 4096}};
+  MC.Cores = {{0, 0}, {1, 1}};
+  Program Comp = loopProgram(400000, false);
+  Program Mem = loopProgram(400000, true);
+  auto CompCost = std::make_shared<const CostModel>(Comp, MC);
+  auto MemCost = std::make_shared<const CostModel>(Mem, MC);
+  Machine M(MC, SimConfig(),
+            SchedulerSpec::ipcSampling(/*MinSampleInsts=*/5000)
+                .makeScheduler());
+  uint32_t CompPid = M.spawn(plainImage(Comp), CompCost, TunerConfig(), 1);
+  uint32_t MemPid = M.spawn(plainImage(Mem), MemCost, TunerConfig(), 2);
+  M.run(2.0); // Long enough for sampling migrations both ways.
+  for (uint32_t Pid : {CompPid, MemPid}) {
+    const SchedTelemetry &T = M.telemetry(Pid);
+    // The sampler migrated the process across both types.
+    EXPECT_GT(T.CyclesByType[0], 0.0);
+    EXPECT_GT(T.CyclesByType[1], 0.0);
+    // The last window is attributed to a type it really ran on, with a
+    // positive IPC consistent with that type's accumulators.
+    ASSERT_LT(T.WindowCoreType, MC.numCoreTypes());
+    EXPECT_GT(T.WindowIpc, 0.0);
+    EXPECT_GT(T.ipcOn(T.WindowCoreType), 0.0);
+  }
+}
+
+// Telemetry is never reset or recycled on process exit: the policy's
+// onExit hook observes the final counters, the same values remain
+// readable afterwards, and later spawns (pids are never reused) leave
+// the dead process's telemetry untouched.
+TEST(Telemetry, ExitPreservesFinalTelemetry) {
+  struct ExitSnooper final : ObliviousScheduler {
+    uint64_t InstsAtExit = 0;
+    double CyclesAtExit = 0;
+    void onExit(Machine &M, Process &P) override {
+      const SchedTelemetry &T = M.telemetry(P.Pid);
+      for (size_t Ct = 0; Ct < T.InstsByType.size(); ++Ct) {
+        InstsAtExit += T.InstsByType[Ct];
+        CyclesAtExit += T.CyclesByType[Ct];
+      }
+    }
+  };
+  Program Prog = loopProgram(2000);
+  auto Image = plainImage(Prog);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  auto Cost = std::make_shared<const CostModel>(Prog, MC);
+  auto Policy = std::make_unique<ExitSnooper>();
+  ExitSnooper *Snoop = Policy.get();
+  Machine M(MC, SimConfig(), std::move(Policy));
+  uint32_t Pid = M.spawn(Image, Cost, TunerConfig(), 1);
+  M.run(50);
+  ASSERT_TRUE(M.process(Pid).Finished);
+  EXPECT_EQ(Snoop->InstsAtExit, M.process(Pid).Stats.InstsRetired);
+
+  // Snapshot after exit, then spawn and run more work: the dead pid's
+  // telemetry must not move.
+  std::vector<uint64_t> InstsSnapshot = M.telemetry(Pid).InstsByType;
+  std::vector<double> CyclesSnapshot = M.telemetry(Pid).CyclesByType;
+  uint64_t SnapSum = 0;
+  for (uint64_t I : InstsSnapshot)
+    SnapSum += I;
+  EXPECT_EQ(SnapSum, Snoop->InstsAtExit);
+  M.spawn(Image, Cost, TunerConfig(), 2);
+  M.run(M.now() + 50);
+  EXPECT_EQ(M.telemetry(Pid).InstsByType, InstsSnapshot);
+  for (size_t Ct = 0; Ct < CyclesSnapshot.size(); ++Ct)
+    EXPECT_DOUBLE_EQ(M.telemetry(Pid).CyclesByType[Ct],
+                     CyclesSnapshot[Ct]);
+}
 
 TEST(Telemetry, CountersMatchProcessStats) {
   Program Prog = loopProgram(2000, true);

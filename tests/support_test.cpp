@@ -133,6 +133,34 @@ TEST(Statistics, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile({0, 10}, 1.0), 10);
 }
 
+TEST(Statistics, PercentileInterpolatesLinearly) {
+  // Type-7 linear interpolation between order statistics, like
+  // quantile() (the numpy default): pos = (p/100) * (n - 1).
+  std::vector<double> V = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(V, 25), 20);
+  EXPECT_DOUBLE_EQ(percentile(V, 95), 48); // pos 3.8 -> 40 + 0.8*10.
+  EXPECT_DOUBLE_EQ(percentile(V, 99), 49.6);
+  // Unsorted input is sorted internally; a single sample is every
+  // percentile of itself.
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5);
+  EXPECT_DOUBLE_EQ(percentile({7}, 99), 7);
+  // Agrees with quantile() exactly (one shared definition).
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 37.5), quantile({0, 10}, 0.375));
+}
+
+TEST(Statistics, PercentileDeterministicAcrossCalls) {
+  std::vector<double> V;
+  for (int I = 99; I >= 0; --I)
+    V.push_back(0.25 * I);
+  double A = percentile(V, 95);
+  double B = percentile(V, 95);
+  EXPECT_DOUBLE_EQ(A, B);
+  EXPECT_DOUBLE_EQ(A, 0.25 * 94.05);
+}
+
 TEST(Statistics, Geomean) {
   EXPECT_NEAR(geomean({1, 100}), 10, 1e-9);
   EXPECT_DOUBLE_EQ(geomean({}), 0);
