@@ -18,6 +18,7 @@
 // Usage:
 //   driver [--list] [--only=name1,name2] [--clean-cache]
 //          [--gc-cache] [--max-cache-bytes=N] [--max-cache-age-days=D]
+//          [--timeout-seconds=D] [--max-attempts=N]
 //
 // --clean-cache deletes PBT_CACHE_DIR entries written by other format
 // versions (they can never load again) and exits.
@@ -28,18 +29,29 @@
 // hit) until the store fits in --max-cache-bytes. With neither bound
 // given, a default 512 MiB size budget applies.
 //
-// Environment: PBT_BENCH_SCALE scales horizons, PBT_CACHE_DIR enables
-// the persistent suite store, PBT_THREADS sizes the replay pool.
+// Every experiment runs behind exp::runGuarded: --timeout-seconds
+// bounds each attempt's wall clock (0 = no timeout, the default) and
+// --max-attempts retries failed or throwing experiments (default 1).
+// A failing experiment never stops the batch — the driver records it,
+// runs everything else, and exits nonzero at the end.
 //
-// Writes BENCH_driver.json (schema pbt-driver-v1) with per-experiment
-// exit codes and suite-cache statistics; exits non-zero when any
-// experiment failed.
+// Environment: PBT_BENCH_SCALE scales horizons, PBT_CACHE_DIR enables
+// the persistent suite store, PBT_THREADS sizes the replay pool,
+// PBT_EXP_TIMEOUT_SECONDS / PBT_EXP_MAX_ATTEMPTS default the two
+// guard flags, PBT_FAULTS arms fault injection (support/FaultInjection).
+//
+// Writes BENCH_driver.json (schema pbt-driver-v2, docs/BENCH_SCHEMA.md)
+// with per-experiment status/attempts/duration, a failure summary, and
+// suite-cache statistics; exits non-zero when any experiment failed.
+// Per-experiment BENCH_*.json files are unaffected by the guard and
+// stay byte-identical to the standalone binaries' output.
 //
 //===----------------------------------------------------------------------===//
 
 #include "Registry.h"
 
 #include "exp/CacheStore.h"
+#include "exp/Guard.h"
 #include "exp/Harness.h"
 #include "support/Env.h"
 #include "support/Json.h"
@@ -84,6 +96,10 @@ int main(int Argc, char **Argv) {
   bool SawMaxAge = false;
   uint64_t MaxCacheBytes = 0;
   double MaxCacheAgeDays = 0;
+  // Guard policy: flags override the environment, environment overrides
+  // the defaults (no timeout, single attempt).
+  double TimeoutSeconds = envDouble("PBT_EXP_TIMEOUT_SECONDS", 0);
+  int64_t MaxAttempts = envInt("PBT_EXP_MAX_ATTEMPTS", 1);
   std::vector<std::string> Only;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -113,16 +129,37 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       SawMaxAge = true;
+    } else if (std::strncmp(Arg, "--timeout-seconds=", 18) == 0) {
+      char *End = nullptr;
+      TimeoutSeconds = std::strtod(Arg + 18, &End);
+      if (End == Arg + 18 || *End != '\0') {
+        std::fprintf(stderr, "driver: --timeout-seconds wants a number "
+                             "of seconds, got '%s'\n",
+                     Arg + 18);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--max-attempts=", 15) == 0) {
+      char *End = nullptr;
+      MaxAttempts = std::strtoll(Arg + 15, &End, 10);
+      if (End == Arg + 15 || *End != '\0' || MaxAttempts < 1) {
+        std::fprintf(stderr, "driver: --max-attempts wants a positive "
+                             "integer, got '%s'\n",
+                     Arg + 15);
+        return 2;
+      }
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       Only = splitList(Arg + 7);
     } else {
       std::fprintf(stderr,
                    "usage: driver [--list] [--only=name1,name2] "
                    "[--clean-cache] [--gc-cache] [--max-cache-bytes=N] "
-                   "[--max-cache-age-days=D]\n");
+                   "[--max-cache-age-days=D] [--timeout-seconds=D] "
+                   "[--max-attempts=N]\n");
       return 2;
     }
   }
+  if (MaxAttempts < 1)
+    MaxAttempts = 1; // A nonsense PBT_EXP_MAX_ATTEMPTS degrades sanely.
 
   // A GC bound without --gc-cache would be silently ignored and the
   // whole experiment matrix would run instead; refuse the ambiguity.
@@ -210,19 +247,41 @@ int main(int Argc, char **Argv) {
   if (Store)
     std::printf("persistent suite cache: %s\n", Store->dir().c_str());
 
+  exp::GuardOptions Guard;
+  Guard.TimeoutSeconds = TimeoutSeconds;
+  Guard.MaxAttempts = static_cast<unsigned>(MaxAttempts);
+
   Json Runs = Json::array();
-  int ExitCode = 0;
+  Json Failures = Json::array();
+  size_t Failed = 0;
+  bool AbandonedRunner = false;
   for (const Experiment &E : Sorted) {
     if (!Only.empty() &&
         std::find(Only.begin(), Only.end(), E.Name) == Only.end())
       continue;
     std::printf("\n---- %s ----\n", E.Name);
-    int Rc = E.Fn();
-    if (Rc)
-      ExitCode = 1;
+    // The guard is the driver's fault boundary: a throwing, failing,
+    // or wedged experiment becomes a recorded failure, and the batch
+    // moves on to the next experiment.
+    exp::GuardedResult R = exp::runGuarded(E.Fn, Guard);
+    if (R.St == exp::GuardedResult::Status::Timeout)
+      AbandonedRunner = true;
+    if (!R.ok()) {
+      ++Failed;
+      Failures.push(Json(E.Name));
+      std::fprintf(stderr, "driver: %s %s after %u attempt%s (%.1fs)%s%s\n",
+                   E.Name, R.statusName(), R.Attempts,
+                   R.Attempts == 1 ? "" : "s", R.DurationSeconds,
+                   R.Error.empty() ? "" : ": ", R.Error.c_str());
+    }
     Json Run = Json::object();
     Run["name"] = E.Name;
-    Run["exit_code"] = Rc;
+    Run["status"] = R.statusName();
+    Run["exit_code"] = R.ExitCode;
+    Run["attempts"] = static_cast<uint64_t>(R.Attempts);
+    Run["duration_seconds"] = R.DurationSeconds;
+    if (!R.Error.empty())
+      Run["error"] = R.Error;
     Runs.push(std::move(Run));
   }
   exp::ExperimentHarness::setSharedLabPool(nullptr);
@@ -240,10 +299,14 @@ int main(int Argc, char **Argv) {
   }
 
   Json Root = Json::object();
-  Root["schema"] = "pbt-driver-v1";
+  Root["schema"] = "pbt-driver-v2";
   Root["scale"] = envScale();
   Root["cache_dir"] = Store ? Json(Store->dir()) : Json();
+  Root["timeout_seconds"] = TimeoutSeconds;
+  Root["max_attempts"] = static_cast<uint64_t>(MaxAttempts);
   Root["experiments"] = std::move(Runs);
+  Root["failed"] = static_cast<uint64_t>(Failed);
+  Root["failures"] = std::move(Failures);
   Json CacheStats = Json::object();
   CacheStats["memory_hits"] = MemoryHits;
   CacheStats["store_hits"] = StoreHits;
@@ -254,19 +317,30 @@ int main(int Argc, char **Argv) {
     StoreStats["misses"] = Store->misses();
     StoreStats["rejects"] = Store->rejects();
     StoreStats["writes"] = Store->writes();
+    StoreStats["quarantines"] = Store->quarantines();
+    StoreStats["lock_timeouts"] = Store->lockTimeouts();
     CacheStats["store"] = std::move(StoreStats);
   }
   Root["suite_cache"] = std::move(CacheStats);
 
   std::printf("\n== driver summary: memory_hits=%llu store_hits=%llu "
-              "prepared=%llu ==\n",
+              "prepared=%llu failed=%zu ==\n",
               static_cast<unsigned long long>(MemoryHits),
               static_cast<unsigned long long>(StoreHits),
-              static_cast<unsigned long long>(PreparedCount));
+              static_cast<unsigned long long>(PreparedCount), Failed);
+  int Exit = Failed == 0 ? 0 : 1;
   if (!writeJsonFile("BENCH_driver.json", Root)) {
     std::perror("BENCH_driver.json");
-    return 1;
+    Exit = 1;
+  } else {
+    std::printf("wrote BENCH_driver.json\n");
   }
-  std::printf("wrote BENCH_driver.json\n");
-  return ExitCode;
+  if (AbandonedRunner) {
+    // A timed-out experiment's runner thread may still be executing its
+    // body; normal teardown (static destructors, thread-pool joins)
+    // would race with it. Flush and leave without running destructors.
+    std::fflush(nullptr);
+    std::_Exit(Exit);
+  }
+  return Exit;
 }

@@ -8,16 +8,22 @@
 
 #include "support/Binary.h"
 #include "support/Env.h"
+#include "support/FaultInjection.h"
+#include "support/FileLock.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <dirent.h>
 #include <set>
+#include <signal.h>
 #include <sys/stat.h>
 #include <tuple>
+#include <unistd.h>
 #include <utime.h>
 
 using namespace pbt;
@@ -52,24 +58,6 @@ void writeHeader(BinaryWriter &W, const Header &H) {
 }
 
 constexpr size_t HeaderBytes = 4 + 4 + 7 * 8;
-
-/// Reads the header; failure is latched on \p R (wrong magic or version
-/// are reported through the return value's Key == 0 sentinel-free path:
-/// the caller compares fields explicitly).
-bool readHeader(BinaryReader &R, Header &H) {
-  if (R.u32() != Magic)
-    return false;
-  if (R.u32() != CacheStore::FormatVersion)
-    return false;
-  H.Key = R.u64();
-  H.ProgramSetHash = R.u64();
-  H.MachineHash = R.u64();
-  H.PrepHash = R.u64();
-  H.TypingSeed = R.u64();
-  H.PayloadSize = R.u64();
-  H.Checksum = R.u64();
-  return !R.failed();
-}
 
 //===----------------------------------------------------------------------===//
 // Program + marks serialization
@@ -278,10 +266,118 @@ void makeDirs(const std::string &Dir) {
   }
 }
 
+/// True for file names this store writes for suite entries:
+/// "suite-<16 hex>.pbt".
+bool isEntryName(const char *Name) {
+  size_t Len = std::strlen(Name);
+  return Len == 26 && std::strncmp(Name, "suite-", 6) == 0 &&
+         std::strcmp(Name + Len - 4, ".pbt") == 0;
+}
+
+/// True for the store's advisory lock files: "suite-<16 hex>.lck".
+bool isLockName(const char *Name) {
+  size_t Len = std::strlen(Name);
+  return Len == 26 && std::strncmp(Name, "suite-", 6) == 0 &&
+         std::strcmp(Name + Len - 4, ".lck") == 0;
+}
+
+/// \p Path's mtime, or 0 when unreadable.
+time_t fileMtime(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? St.st_mtime : 0;
+}
+
+/// For a temp-file name "<entry>.tmp.<pid>", returns the pid (0 when
+/// the suffix is not a plain number).
+long tmpFilePid(const char *Name) {
+  const char *Tag = std::strstr(Name, ".tmp.");
+  if (!Tag)
+    return 0;
+  const char *Digits = Tag + 5;
+  if (*Digits == '\0')
+    return 0;
+  char *End = nullptr;
+  long Pid = std::strtol(Digits, &End, 10);
+  return (End && *End == '\0' && Pid > 0) ? Pid : 0;
+}
+
+/// True when no process with \p Pid exists (the temp's writer died).
+bool pidDead(long Pid) {
+  return ::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH;
+}
+
+/// Shared sweep body (callers hold the store mutex): removes stranded
+/// temp files, expired quarantines, and — when \p CollectOrphanLocks —
+/// lock files whose entry is gone and that nobody holds. Staleness
+/// rules are documented on CacheStore::sweepStale.
+size_t sweepDebris(const std::string &Dir, double MaxQuarantineAgeSeconds,
+                   bool CollectOrphanLocks) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  std::vector<std::string> Stale;
+  std::vector<std::string> Locks;
+  time_t Now = std::time(nullptr);
+  while (const dirent *Entry = ::readdir(D)) {
+    const char *Name = Entry->d_name;
+    // Only debris derived from our own entry names is considered.
+    if (std::strncmp(Name, "suite-", 6) != 0)
+      continue;
+    std::string Path = Dir + "/" + Name;
+    if (std::strstr(Name, ".pbt.tmp.")) {
+      // A temp is stale when its writing process is gone, or when it
+      // is old enough (an hour) that any sane write must have ended —
+      // the fallback for unparsable pids and pid reuse.
+      long Pid = tmpFilePid(Name);
+      bool Dead = Pid > 0 && pidDead(Pid);
+      bool Old = Now - fileMtime(Path) > 3600;
+      if (Dead || Old)
+        Stale.push_back(std::move(Path));
+    } else if (std::strstr(Name, ".quarantined-")) {
+      if (MaxQuarantineAgeSeconds >= 0 &&
+          static_cast<double>(Now - fileMtime(Path)) >=
+              MaxQuarantineAgeSeconds)
+        Stale.push_back(std::move(Path));
+    } else if (CollectOrphanLocks && isLockName(Name)) {
+      Locks.push_back(std::move(Path));
+    }
+  }
+  ::closedir(D);
+  size_t Removed = 0;
+  for (const std::string &Path : Stale)
+    if (std::remove(Path.c_str()) == 0)
+      ++Removed; // ENOENT = a concurrent sweep won the race; fine.
+  for (const std::string &LockPath : Locks) {
+    // A lock file is an orphan when its entry is gone and nobody holds
+    // it right now. (A contender could re-open it the instant after we
+    // unlink; locks are advisory efficiency hints, so that race costs
+    // at worst one redundant preparation, never correctness.)
+    std::string EntryPath =
+        LockPath.substr(0, LockPath.size() - 4) + ".pbt";
+    struct stat St;
+    if (::stat(EntryPath.c_str(), &St) == 0)
+      continue;
+    FileLock Guard;
+    if (!Guard.tryAcquire(LockPath, FileLock::Mode::Exclusive))
+      continue;
+    if (std::remove(LockPath.c_str()) == 0)
+      ++Removed;
+  }
+  return Removed;
+}
+
 } // namespace
 
-CacheStore::CacheStore(std::string DirIn) : Dir(std::move(DirIn)) {
+CacheStore::CacheStore(std::string DirIn)
+    : Dir(std::move(DirIn)),
+      // Backoff jitter: deterministic for a given pid, so a process's
+      // lock schedule is reproducible while contending processes
+      // still desynchronize.
+      LockRng(hashCombine(0xF11E10C4, static_cast<uint64_t>(::getpid()))) {
   makeDirs(Dir);
+  // Startup sweep: collect temp files stranded by crashed writers and
+  // stale quarantines, so debris can never accumulate across runs.
+  sweepStale();
 }
 
 std::shared_ptr<CacheStore> CacheStore::fromEnv() {
@@ -318,6 +414,33 @@ std::string CacheStore::pathFor(uint64_t Key) const {
   return Dir + "/" + Name;
 }
 
+std::string CacheStore::lockPathFor(uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "suite-%016llx.lck",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Name;
+}
+
+std::string CacheStore::quarantinePathFor(uint64_t Key,
+                                          const char *Reason) const {
+  return pathFor(Key) + ".quarantined-" + Reason;
+}
+
+void CacheStore::setLockPolicy(unsigned MaxAttempts,
+                               unsigned BaseDelayMicros) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LockMaxAttempts = std::max(1u, MaxAttempts);
+  LockBaseDelayMicros = std::max(1u, BaseDelayMicros);
+}
+
+size_t CacheStore::sweepStale(double MaxQuarantineAgeSeconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Lock files are left alone here (load/save hold them constantly in
+  // a busy store); gc() is the one pass that collects orphans.
+  return sweepDebris(Dir, MaxQuarantineAgeSeconds,
+                     /*CollectOrphanLocks=*/false);
+}
+
 size_t CacheStore::cleanMismatchedVersions() {
   std::lock_guard<std::mutex> Lock(Mutex);
   size_t Removed = 0;
@@ -327,14 +450,13 @@ size_t CacheStore::cleanMismatchedVersions() {
   std::vector<std::string> Stale;
   while (const dirent *Entry = ::readdir(D)) {
     const char *Name = Entry->d_name;
-    size_t Len = std::strlen(Name);
     // Only files this store wrote: "suite-<16 hex>.pbt".
-    if (Len != 26 || std::strncmp(Name, "suite-", 6) != 0 ||
-        std::strcmp(Name + Len - 4, ".pbt") != 0)
+    if (!isEntryName(Name))
       continue;
     std::string Path = Dir + "/" + Name;
     // Only the first 8 header bytes matter (magic + version); entries
-    // can be many megabytes, so never read the payload.
+    // can be many megabytes, so never read the payload. A vanished or
+    // unreadable file (concurrent eviction) is simply skipped.
     char Hdr[8];
     std::FILE *F = std::fopen(Path.c_str(), "rb");
     if (!F)
@@ -350,9 +472,21 @@ size_t CacheStore::cleanMismatchedVersions() {
       Stale.push_back(std::move(Path));
   }
   ::closedir(D);
-  for (const std::string &Path : Stale)
+  for (const std::string &Path : Stale) {
+    // Skip entries a live process still holds (it is mid-read of the
+    // old format it understands); a later clean collects them.
+    FileLock Guard;
+    std::string LockPath = Path.substr(0, Path.size() - 4) + ".lck";
+    if (!Guard.tryAcquire(LockPath, FileLock::Mode::Exclusive))
+      continue;
+    // ENOENT here means a concurrent process evicted the same entry
+    // between our scan and now — not an error, just not our removal.
     if (std::remove(Path.c_str()) == 0)
       ++Removed;
+    // Either way the entry is gone now; its lock file (possibly just
+    // created by our tryAcquire) is an orphan we hold exclusively.
+    std::remove(LockPath.c_str());
+  }
   return Removed;
 }
 
@@ -418,17 +552,37 @@ CacheStore::GcStats CacheStore::gc(uint64_t MaxBytes, double MaxAgeSeconds) {
   if (MaxAgeSeconds > 0)
     Cutoff = std::time(nullptr) - static_cast<time_t>(MaxAgeSeconds);
 
+  FaultInjection &FI = FaultInjection::instance();
   for (const Entry &E : Entries) {
     bool TooOld = MaxAgeSeconds > 0 && E.Mtime < Cutoff;
     bool OverBudget = MaxBytes > 0 && Total > MaxBytes;
     if (!TooOld && !OverBudget)
       break; // Oldest survivor found; everything newer survives too.
+    // Skip entries a live reader or writer holds right now. Evicting
+    // under a reader would be *safe* (POSIX keeps the open file alive)
+    // but needlessly destroys an entry that just proved itself hot.
+    FileLock Guard;
+    if (!Guard.tryAcquire(E.Path.substr(0, E.Path.size() - 4) + ".lck",
+                          FileLock::Mode::Exclusive)) {
+      ++Stats.LockedSkipped;
+      continue;
+    }
+    // Injected concurrent-evictor race: the entry may vanish between
+    // the scan and the remove; the ENOENT just means the other process
+    // reclaimed the bytes first, so it is tolerated and not counted.
+    FI.maybeVanish("gc.entry", E.Path);
     if (std::remove(E.Path.c_str()) != 0)
       continue;
     ++Stats.Evicted;
     Stats.BytesEvicted += E.Bytes;
     Total -= E.Bytes;
   }
+
+  // Piggyback the debris sweep: gc is the explicit "reclaim disk"
+  // entry point, so it also clears every quarantine file (age 0) and
+  // orphaned locks, not just dead writers' temp files.
+  Stats.Swept = sweepDebris(Dir, /*MaxQuarantineAgeSeconds=*/0,
+                            /*CollectOrphanLocks=*/true);
   return Stats;
 }
 
@@ -437,44 +591,90 @@ CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
                  const MachineConfig &Machine, const TechniqueSpec &Tech,
                  uint64_t TypingSeed) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  std::string Bytes;
-  if (!readFile(pathFor(Key), Bytes)) {
+
+  // Shared reader lock with bounded retry: waits out an in-flight
+  // writer on the same key, but contention past the retry budget
+  // degrades to a miss rather than stalling an experiment.
+  FileLock ReadLock;
+  if (!ReadLock.acquire(lockPathFor(Key), FileLock::Mode::Shared,
+                        LockMaxAttempts, LockRng, LockBaseDelayMicros)) {
     ++Misses;
+    ++LockTimeouts;
     return nullptr;
   }
 
-  auto Reject = [&]() {
-    ++Misses;
-    ++Rejects;
+  std::string Bytes;
+  if (!readFile(pathFor(Key), Bytes)) {
+    ++Misses; // Plain absence: the ordinary cold-store miss.
     return nullptr;
-  };
+  }
 
+  // Parse and validate; Why names the first failed check and becomes
+  // the quarantine suffix, so a post-mortem can tell bit rot from a
+  // version skew from a hash collision at a glance.
+  const char *Why = nullptr;
+  std::shared_ptr<const PreparedSuite> Suite;
   BinaryReader R(Bytes);
-  Header H;
-  if (!readHeader(R, H))
-    return Reject();
-  // The header must describe exactly the requested preparation: key,
-  // program set, machine, preparation identity, and typing seed.
-  if (H.Key != Key || H.ProgramSetHash != ProgramSetHash ||
-      H.MachineHash != hashValue(Machine) ||
-      H.PrepHash != Tech.preparationHash() || H.TypingSeed != TypingSeed)
-    return Reject();
-  if (H.PayloadSize != Bytes.size() - HeaderBytes)
-    return Reject(); // Truncated or padded file.
-  if (H.Checksum != fnv1a(Bytes.data() + HeaderBytes, H.PayloadSize))
-    return Reject(); // Bit rot within the payload.
+  if (R.u32() != Magic) {
+    Why = "magic";
+  } else if (R.u32() != FormatVersion) {
+    Why = "version";
+  } else {
+    Header H;
+    H.Key = R.u64();
+    H.ProgramSetHash = R.u64();
+    H.MachineHash = R.u64();
+    H.PrepHash = R.u64();
+    H.TypingSeed = R.u64();
+    H.PayloadSize = R.u64();
+    H.Checksum = R.u64();
+    // The header must describe exactly the requested preparation: key,
+    // program set, machine, preparation identity, and typing seed.
+    if (R.failed())
+      Why = "truncated";
+    else if (H.Key != Key || H.ProgramSetHash != ProgramSetHash ||
+             H.MachineHash != hashValue(Machine) ||
+             H.PrepHash != Tech.preparationHash() ||
+             H.TypingSeed != TypingSeed)
+      Why = "key";
+    else if (H.PayloadSize != Bytes.size() - HeaderBytes)
+      Why = "truncated"; // Truncated or padded file.
+    else if (H.Checksum != fnv1a(Bytes.data() + HeaderBytes, H.PayloadSize))
+      Why = "checksum"; // Bit rot within the payload.
+    else {
+      BinaryReader Payload(Bytes.data() + HeaderBytes, H.PayloadSize);
+      Suite = readSuite(Payload, Machine, Tech);
+      if (!Suite)
+        Why = "payload"; // Checksummed bytes decode to nonsense.
+    }
+  }
 
-  BinaryReader Payload(Bytes.data() + HeaderBytes, H.PayloadSize);
-  std::shared_ptr<const PreparedSuite> Suite =
-      readSuite(Payload, Machine, Tech);
-  if (!Suite)
-    return Reject();
-  ++Hits;
-  // Refresh the entry's mtime: it is the LRU clock gc() evicts by, so
-  // a hit must mark the entry recently used (best-effort — a failed
-  // touch only ages the entry).
-  ::utime(pathFor(Key).c_str(), nullptr);
-  return Suite;
+  if (Suite) {
+    ++Hits;
+    // Refresh the entry's mtime: it is the LRU clock gc() evicts by, so
+    // a hit must mark the entry recently used (best-effort — a failed
+    // touch only ages the entry).
+    ::utime(pathFor(Key).c_str(), nullptr);
+    return Suite;
+  }
+
+  // Rejected. Count a miss (the caller re-prepares) and quarantine the
+  // file so the next request sees a clean miss instead of re-parsing
+  // the same bad bytes — but only under an uncontended writer lock,
+  // and only if the bytes did not change underneath us (a concurrent
+  // save may already have replaced the entry with a healthy one).
+  ++Misses;
+  ++Rejects;
+  ReadLock.release();
+  FileLock WriteLock;
+  if (WriteLock.tryAcquire(lockPathFor(Key), FileLock::Mode::Exclusive)) {
+    std::string Again;
+    if (readFile(pathFor(Key), Again) && Again == Bytes &&
+        std::rename(pathFor(Key).c_str(),
+                    quarantinePathFor(Key, Why).c_str()) == 0)
+      ++Quarantines;
+  }
+  return nullptr;
 }
 
 bool CacheStore::save(uint64_t Key, uint64_t ProgramSetHash,
@@ -495,8 +695,20 @@ bool CacheStore::save(uint64_t Key, uint64_t ProgramSetHash,
 
   BinaryWriter File;
   writeHeader(File, H);
+
+  // Exclusive writer lock, bounded: a key contended past the retry
+  // budget just skips the write-back (the suite is still served from
+  // memory, and whoever holds the lock is writing identical bytes).
+  FileLock WriteLock;
+  if (!WriteLock.acquire(lockPathFor(Key), FileLock::Mode::Exclusive,
+                         LockMaxAttempts, LockRng, LockBaseDelayMicros)) {
+    ++LockTimeouts;
+    return false;
+  }
+  FaultInjection::instance().crashPoint("store.locked");
   if (!writeFileAtomic(pathFor(Key), File.buffer() + Payload.buffer()))
     return false;
+  FaultInjection::instance().crashPoint("store.saved");
   ++Writes;
   return true;
 }

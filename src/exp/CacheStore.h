@@ -25,17 +25,42 @@
 /// version, key, the three key components, payload length, FNV-1a
 /// payload checksum — followed by the serialized suite. Doubles are
 /// stored by bit pattern, so a loaded suite is bit-identical to the
-/// freshly prepared one (proven in tests/exp_test.cpp). Any mismatch —
-/// wrong magic, wrong version, wrong key, truncation, checksum failure,
-/// or out-of-range indices in the decoded structures — rejects the file
-/// and counts as a plain miss; writes are atomic (temp file + rename),
-/// so readers never observe partial files.
+/// freshly prepared one (proven in tests/exp_test.cpp).
+///
+/// **Crash safety and concurrency.** The store is built to survive
+/// `kill -9`, concurrent writers, and injected filesystem faults
+/// (tests/cache_stress_test.cpp hammers it from forked processes):
+///
+///  - Writes are atomic and durable: fsync-before-rename plus a
+///    parent-directory fsync (support/Binary's writeFileAtomic), so
+///    readers never observe partial files and a crash leaves at worst
+///    a stale `.tmp.<pid>` file.
+///  - Cooperating processes serialize per key through an advisory
+///    `flock` on `suite-<key>.lck` — shared for readers, exclusive for
+///    writers — acquired with bounded, seeded-backoff retries
+///    (support/FileLock). Exhausting the retries degrades gracefully:
+///    a reader counts a miss, a writer skips the write-back (counted
+///    in lockTimeouts()). flock dies with its process, so crashed
+///    holders never strand a lock.
+///  - Any mismatch on load — wrong magic, wrong version, wrong key,
+///    truncation, checksum failure, or out-of-range indices in the
+///    decoded structures — **quarantines** the file (renamed to
+///    `<entry>.quarantined-<reason>` under the writer lock) and counts
+///    as a plain miss, so the next preparation rebuilds the entry
+///    transparently instead of tripping over it again.
+///  - Construction and gc() sweep stale debris: `.tmp.<pid>` files
+///    whose writer is dead and old quarantine files.
+///
+/// Every filesystem step routes through support/FaultInjection, so the
+/// whole contract is exercised under injected EIO, short writes, torn
+/// renames, and crash points.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PBT_EXP_CACHESTORE_H
 #define PBT_EXP_CACHESTORE_H
 
+#include "support/Rng.h"
 #include "workload/Runner.h"
 
 #include <cstdint>
@@ -57,7 +82,8 @@ public:
   /// moved from suite preparation to the scheduler-policy axis).
   static constexpr uint32_t FormatVersion = 2;
 
-  /// Opens (creating if needed) the store directory \p Dir.
+  /// Opens (creating if needed) the store directory \p Dir and sweeps
+  /// stale debris left by crashed processes (see sweepStale()).
   explicit CacheStore(std::string Dir);
 
   /// The process-wide store configured by the `PBT_CACHE_DIR`
@@ -96,6 +122,29 @@ public:
   /// The file path entries for \p Key live at.
   std::string pathFor(uint64_t Key) const;
 
+  /// The advisory lock file guarding \p Key's entry.
+  std::string lockPathFor(uint64_t Key) const;
+
+  /// The quarantine destination for \p Key's entry when rejected for
+  /// \p Reason ("magic", "version", "key", "truncated", "checksum",
+  /// "payload").
+  std::string quarantinePathFor(uint64_t Key, const char *Reason) const;
+
+  /// Tunes the bounded lock acquisition: \p MaxAttempts non-blocking
+  /// tries, exponential backoff from \p BaseDelayMicros (capped at
+  /// 5 ms) with seeded jitter. Defaults: 64 attempts, 200 us base —
+  /// worst case well under a second. Tests shrink both.
+  void setLockPolicy(unsigned MaxAttempts, unsigned BaseDelayMicros = 200);
+
+  /// Removes debris no live process can still want: `.tmp.<pid>` temp
+  /// files whose writing process is dead (or that are over an hour
+  /// old), and quarantine files older than \p MaxQuarantineAgeSeconds
+  /// (negative keeps all quarantines; 0 removes them all). Returns the
+  /// number of files removed. Runs at construction (keeping week-old
+  /// quarantines for post-mortems) and inside gc() (which sweeps every
+  /// quarantine).
+  size_t sweepStale(double MaxQuarantineAgeSeconds = 7 * 86400.0);
+
   /// Deletes every `suite-*.pbt` entry in the store directory whose
   /// header carries a format version other than FormatVersion (such
   /// entries can never load again; a bump only changes the keys, so
@@ -110,6 +159,10 @@ public:
     uint64_t BytesScanned = 0; ///< Their total size.
     size_t Evicted = 0;       ///< Entries deleted.
     uint64_t BytesEvicted = 0; ///< Bytes reclaimed.
+    size_t LockedSkipped = 0; ///< Eviction candidates held by a live
+                              ///< reader or writer, left alone.
+    size_t Swept = 0;         ///< Stale temp/quarantine/orphan-lock
+                              ///< files removed alongside the pass.
   };
 
   /// Age/size-based garbage collection over the store directory,
@@ -135,14 +188,26 @@ public:
   uint64_t rejects() const { return Rejects; }
   /// Entries written by save().
   uint64_t writes() const { return Writes; }
+  /// Rejected entries renamed aside for post-mortem (a subset of
+  /// rejects(): quarantining needs the uncontended writer lock).
+  uint64_t quarantines() const { return Quarantines; }
+  /// Operations abandoned because the per-key lock stayed contended
+  /// through every bounded retry (each degrades to a miss or a
+  /// skipped write-back; nothing aborts).
+  uint64_t lockTimeouts() const { return LockTimeouts; }
 
 private:
   std::string Dir;
   mutable std::mutex Mutex;
+  Rng LockRng; ///< Jitter stream for lock backoff; guarded by Mutex.
+  unsigned LockMaxAttempts = 64;
+  unsigned LockBaseDelayMicros = 200;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Rejects = 0;
   uint64_t Writes = 0;
+  uint64_t Quarantines = 0;
+  uint64_t LockTimeouts = 0;
 };
 
 } // namespace exp

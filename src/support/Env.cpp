@@ -39,3 +39,14 @@ int64_t pbt::envInt(const char *Name, int64_t Default) {
     return Default;
   return Value;
 }
+
+double pbt::envDouble(const char *Name, double Default) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw)
+    return Default;
+  char *End = nullptr;
+  double Value = std::strtod(Raw, &End);
+  if (End == Raw)
+    return Default;
+  return Value;
+}

@@ -29,9 +29,15 @@ double envScale(double Default = 1.0);
 /// \p Default when unset or unparsable.
 int64_t envInt(const char *Name, int64_t Default);
 
+/// Returns the value of the floating-point environment variable
+/// \p Name, or \p Default when unset or unparsable. (Used by the
+/// driver's `PBT_EXP_TIMEOUT_SECONDS` per-experiment timeout.)
+double envDouble(const char *Name, double Default);
+
 /// Returns the value of the environment variable \p Name, or nullptr
 /// when unset. (`PBT_CACHE_DIR` selects the persistent suite-cache
-/// directory; see exp/CacheStore.)
+/// directory — see exp/CacheStore; `PBT_FAULTS` arms the
+/// fault-injection seam — see support/FaultInjection.)
 const char *envString(const char *Name);
 
 } // namespace pbt

@@ -1,0 +1,76 @@
+//===- support/FileLock.cpp - Advisory flock with bounded retry -----------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileLock.h"
+
+#include <algorithm>
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+using namespace pbt;
+
+namespace {
+
+int flockOp(FileLock::Mode M) {
+  return (M == FileLock::Mode::Shared ? LOCK_SH : LOCK_EX) | LOCK_NB;
+}
+
+/// Opens (creating) the lock file. O_CLOEXEC keeps the descriptor —
+/// and with it the lock — from leaking into spawned children.
+int openLockFile(const std::string &Path) {
+  return ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+}
+
+} // namespace
+
+bool FileLock::acquire(const std::string &Path, Mode M, unsigned MaxAttempts,
+                       Rng &Backoff, unsigned BaseDelayMicros) {
+  release();
+  Fd = openLockFile(Path);
+  if (Fd < 0)
+    return false;
+  for (unsigned Attempt = 0; Attempt < std::max(1u, MaxAttempts); ++Attempt) {
+    if (Attempt > 0) {
+      // Exponential backoff capped at 5 ms, plus jitter in [0, delay)
+      // from the caller's seeded stream so contending processes
+      // deterministically desynchronize.
+      uint64_t Delay = std::min<uint64_t>(
+          static_cast<uint64_t>(BaseDelayMicros) << std::min(Attempt, 5u),
+          5000);
+      ::usleep(static_cast<useconds_t>(Delay + Backoff.next() % (Delay + 1)));
+    }
+    if (::flock(Fd, flockOp(M)) == 0)
+      return true;
+    if (errno != EWOULDBLOCK && errno != EINTR)
+      break;
+  }
+  ::close(Fd);
+  Fd = -1;
+  return false;
+}
+
+bool FileLock::tryAcquire(const std::string &Path, Mode M) {
+  release();
+  Fd = openLockFile(Path);
+  if (Fd < 0)
+    return false;
+  if (::flock(Fd, flockOp(M)) == 0)
+    return true;
+  ::close(Fd);
+  Fd = -1;
+  return false;
+}
+
+void FileLock::release() {
+  if (Fd < 0)
+    return;
+  ::flock(Fd, LOCK_UN);
+  ::close(Fd);
+  Fd = -1;
+}

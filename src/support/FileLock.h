@@ -1,0 +1,83 @@
+//===- support/FileLock.h - Advisory flock with bounded retry --*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An RAII advisory file lock over `flock(2)`, the concurrency
+/// primitive under `exp/CacheStore`'s single-writer / shared-reader
+/// per-key protocol. Design points:
+///
+///  - **Never blocks unboundedly.** Acquisition is a bounded loop of
+///    non-blocking attempts with exponential backoff and seeded jitter
+///    (the caller supplies the `Rng`, so backoff schedules are
+///    deterministic for a given seed). Exhausting the attempts returns
+///    false and the caller degrades — a reader treats it as a miss, a
+///    writer skips the write-back.
+///  - **Crash-released.** `flock` locks die with the holding process's
+///    descriptor, so a `kill -9` mid-critical-section can never strand
+///    a lock the way lockfile-existence protocols do.
+///  - **Advisory only.** The lock serializes cooperating processes for
+///    efficiency (one writer rebuilds, readers wait out in-flight
+///    writes, gc skips live entries); *correctness* rests on
+///    `writeFileAtomic`'s temp-file + rename protocol, which keeps the
+///    store safe even against non-cooperating or raced access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_FILELOCK_H
+#define PBT_SUPPORT_FILELOCK_H
+
+#include "support/Rng.h"
+
+#include <string>
+
+namespace pbt {
+
+/// RAII advisory lock on a dedicated lock file (see file comment).
+class FileLock {
+public:
+  enum class Mode {
+    Shared,   ///< Many readers may hold it together.
+    Exclusive ///< A writer excludes readers and other writers.
+  };
+
+  FileLock() = default;
+  ~FileLock() { release(); }
+
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+  FileLock(FileLock &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  FileLock &operator=(FileLock &&Other) noexcept {
+    if (this != &Other) {
+      release();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+
+  /// Opens (creating if absent) \p Path and tries to take the \p M
+  /// lock up to \p MaxAttempts times. Between attempts sleeps an
+  /// exponentially growing delay (capped at 5 ms) plus jitter drawn
+  /// from \p Backoff. Returns false — with no lock held — when the
+  /// attempts are exhausted or the file cannot be opened.
+  bool acquire(const std::string &Path, Mode M, unsigned MaxAttempts,
+               Rng &Backoff, unsigned BaseDelayMicros = 200);
+
+  /// One non-blocking attempt, no retry and no sleep.
+  bool tryAcquire(const std::string &Path, Mode M);
+
+  bool held() const { return Fd >= 0; }
+
+  /// Unlocks and closes; a no-op when nothing is held.
+  void release();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace pbt
+
+#endif // PBT_SUPPORT_FILELOCK_H

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 using namespace pbt;
@@ -81,6 +83,47 @@ TEST(ThreadPool, SerialPoolDrainsBatchOnException) {
                        }),
       std::runtime_error);
   EXPECT_EQ(Ran.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerThreadReachesCaller) {
+  // Force the throwing index onto a WORKER thread (not the caller,
+  // which also claims indices): the body throws only on threads other
+  // than the caller's, and the caller is delayed so workers pick up
+  // work first. The cross-thread rethrow is what the driver's guard
+  // relies on to turn a crashing parallel preparation into a recorded
+  // failure.
+  ThreadPool Pool(4);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::atomic<int> WorkerRan{0};
+  EXPECT_THROW(
+      Pool.parallelFor(64,
+                       [&](size_t) {
+                         if (std::this_thread::get_id() != Caller) {
+                           WorkerRan.fetch_add(1);
+                           throw std::runtime_error("worker boom");
+                         }
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds(1));
+                       }),
+      std::runtime_error);
+  EXPECT_GT(WorkerRan.load(), 0) << "a worker thread must have thrown";
+}
+
+TEST(ThreadPool, RemainsUsableAfterException) {
+  // A thrown batch must not poison the pool: the next batches run
+  // normally and the error state resets (no stale rethrow).
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 3; ++Round) {
+    EXPECT_THROW(Pool.parallelFor(16,
+                                  [&](size_t I) {
+                                    if (I == 5)
+                                      throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    std::atomic<int> Total{0};
+    Pool.parallelFor(32, [&](size_t) { Total.fetch_add(1); });
+    EXPECT_EQ(Total.load(), 32) << "round " << Round;
+  }
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {
