@@ -32,8 +32,13 @@
 // Every experiment runs behind exp::runGuarded: --timeout-seconds
 // bounds each attempt's wall clock (0 = no timeout, the default) and
 // --max-attempts retries failed or throwing experiments (default 1).
-// A failing experiment never stops the batch — the driver records it,
-// runs everything else, and exits nonzero at the end.
+// A failing or throwing experiment never stops the batch — the driver
+// records it, runs everything else, and exits nonzero at the end. A
+// TIMEOUT is the one exception: the abandoned runner thread may still
+// be executing its body and mutating the shared labs, so the driver
+// stops launching experiments, reports the remainder as "skipped",
+// and exits nonzero (run the stragglers in a fresh process, e.g. via
+// --only).
 //
 // Environment: PBT_BENCH_SCALE scales horizons, PBT_CACHE_DIR enables
 // the persistent suite store, PBT_THREADS sizes the replay pool,
@@ -54,6 +59,7 @@
 #include "exp/Guard.h"
 #include "exp/Harness.h"
 #include "support/Env.h"
+#include "support/FaultInjection.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -89,6 +95,11 @@ std::vector<std::string> splitList(const char *Csv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Parse PBT_FAULTS up front: a typo'd spec exits 2 with the parse
+  // error here, instead of surfacing only when some store op first
+  // touches the seam mid-run.
+  FaultInjection::instance();
+
   bool ListOnly = false;
   bool CleanCache = false;
   bool GcCache = false;
@@ -259,10 +270,32 @@ int main(int Argc, char **Argv) {
     if (!Only.empty() &&
         std::find(Only.begin(), Only.end(), E.Name) == Only.end())
       continue;
+    Json Run = Json::object();
+    Run["name"] = E.Name;
+    if (AbandonedRunner) {
+      // A timed-out experiment's runner thread may still be executing
+      // its body and mutating the shared labs (LabPool, Labs, their
+      // SuiteCaches have no cross-experiment synchronization); running
+      // further experiments beside it would race on that state. The
+      // remainder of the batch is skipped and reported as such — rerun
+      // the stragglers in a fresh process.
+      ++Failed;
+      Failures.push(Json(E.Name));
+      std::fprintf(stderr, "driver: %s skipped (a timed-out experiment's "
+                           "abandoned runner may still be mutating shared "
+                           "state)\n",
+                   E.Name);
+      Run["status"] = "skipped";
+      Run["exit_code"] = -1;
+      Run["attempts"] = static_cast<uint64_t>(0);
+      Run["duration_seconds"] = 0.0;
+      Runs.push(std::move(Run));
+      continue;
+    }
     std::printf("\n---- %s ----\n", E.Name);
-    // The guard is the driver's fault boundary: a throwing, failing,
-    // or wedged experiment becomes a recorded failure, and the batch
-    // moves on to the next experiment.
+    // The guard is the driver's fault boundary: a throwing or failing
+    // experiment becomes a recorded failure, and the batch moves on to
+    // the next experiment.
     exp::GuardedResult R = exp::runGuarded(E.Fn, Guard);
     if (R.St == exp::GuardedResult::Status::Timeout)
       AbandonedRunner = true;
@@ -274,8 +307,6 @@ int main(int Argc, char **Argv) {
                    R.Attempts == 1 ? "" : "s", R.DurationSeconds,
                    R.Error.empty() ? "" : ": ", R.Error.c_str());
     }
-    Json Run = Json::object();
-    Run["name"] = E.Name;
     Run["status"] = R.statusName();
     Run["exit_code"] = R.ExitCode;
     Run["attempts"] = static_cast<uint64_t>(R.Attempts);
@@ -284,7 +315,12 @@ int main(int Argc, char **Argv) {
       Run["error"] = R.Error;
     Runs.push(std::move(Run));
   }
-  exp::ExperimentHarness::setSharedLabPool(nullptr);
+  // With an abandoned runner possibly still live, neither the shared
+  // pool pointer (the runner reads it on every harness lab() call) nor
+  // the lab/store counters (the runner increments them) may be touched;
+  // the pool stays installed until the _Exit below.
+  if (!AbandonedRunner)
+    exp::ExperimentHarness::setSharedLabPool(nullptr);
 
   // Aggregate suite-cache statistics over the shared labs. store_hits
   // counts preparations served from PBT_CACHE_DIR: a warm second run
@@ -292,11 +328,12 @@ int main(int Argc, char **Argv) {
   uint64_t MemoryHits = 0;
   uint64_t StoreHits = 0;
   uint64_t PreparedCount = 0;
-  for (exp::Lab *L : Pool.labs()) {
-    MemoryHits += L->cache().hits();
-    StoreHits += L->cache().storeHits();
-    PreparedCount += L->cache().prepared();
-  }
+  if (!AbandonedRunner)
+    for (exp::Lab *L : Pool.labs()) {
+      MemoryHits += L->cache().hits();
+      StoreHits += L->cache().storeHits();
+      PreparedCount += L->cache().prepared();
+    }
 
   Json Root = Json::object();
   Root["schema"] = "pbt-driver-v2";
@@ -307,27 +344,38 @@ int main(int Argc, char **Argv) {
   Root["experiments"] = std::move(Runs);
   Root["failed"] = static_cast<uint64_t>(Failed);
   Root["failures"] = std::move(Failures);
-  Json CacheStats = Json::object();
-  CacheStats["memory_hits"] = MemoryHits;
-  CacheStats["store_hits"] = StoreHits;
-  CacheStats["prepared"] = PreparedCount;
-  if (Store) {
-    Json StoreStats = Json::object();
-    StoreStats["hits"] = Store->hits();
-    StoreStats["misses"] = Store->misses();
-    StoreStats["rejects"] = Store->rejects();
-    StoreStats["writes"] = Store->writes();
-    StoreStats["quarantines"] = Store->quarantines();
-    StoreStats["lock_timeouts"] = Store->lockTimeouts();
-    CacheStats["store"] = std::move(StoreStats);
+  if (AbandonedRunner) {
+    // The counters would be read beside a thread still incrementing
+    // them; null is honest where numbers would be racy.
+    Root["suite_cache"] = Json();
+  } else {
+    Json CacheStats = Json::object();
+    CacheStats["memory_hits"] = MemoryHits;
+    CacheStats["store_hits"] = StoreHits;
+    CacheStats["prepared"] = PreparedCount;
+    if (Store) {
+      Json StoreStats = Json::object();
+      StoreStats["hits"] = Store->hits();
+      StoreStats["misses"] = Store->misses();
+      StoreStats["rejects"] = Store->rejects();
+      StoreStats["writes"] = Store->writes();
+      StoreStats["quarantines"] = Store->quarantines();
+      StoreStats["lock_timeouts"] = Store->lockTimeouts();
+      CacheStats["store"] = std::move(StoreStats);
+    }
+    Root["suite_cache"] = std::move(CacheStats);
   }
-  Root["suite_cache"] = std::move(CacheStats);
 
-  std::printf("\n== driver summary: memory_hits=%llu store_hits=%llu "
-              "prepared=%llu failed=%zu ==\n",
-              static_cast<unsigned long long>(MemoryHits),
-              static_cast<unsigned long long>(StoreHits),
-              static_cast<unsigned long long>(PreparedCount), Failed);
+  if (AbandonedRunner)
+    std::printf("\n== driver summary: batch aborted after a timeout, "
+                "failed=%zu (suite-cache counters unavailable) ==\n",
+                Failed);
+  else
+    std::printf("\n== driver summary: memory_hits=%llu store_hits=%llu "
+                "prepared=%llu failed=%zu ==\n",
+                static_cast<unsigned long long>(MemoryHits),
+                static_cast<unsigned long long>(StoreHits),
+                static_cast<unsigned long long>(PreparedCount), Failed);
   int Exit = Failed == 0 ? 0 : 1;
   if (!writeJsonFile("BENCH_driver.json", Root)) {
     std::perror("BENCH_driver.json");

@@ -594,10 +594,15 @@ CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
 
   // Shared reader lock with bounded retry: waits out an in-flight
   // writer on the same key, but contention past the retry budget
-  // degrades to a miss rather than stalling an experiment.
+  // degrades to a miss rather than stalling an experiment. When the
+  // lock file cannot even be opened (a read-only store directory, e.g.
+  // a team-prebuilt PBT_CACHE_DIR), fall through to a lockless read:
+  // atomic rename already makes reads safe without the lock, which
+  // only buys efficiency against in-flight writers.
   FileLock ReadLock;
   if (!ReadLock.acquire(lockPathFor(Key), FileLock::Mode::Shared,
-                        LockMaxAttempts, LockRng, LockBaseDelayMicros)) {
+                        LockMaxAttempts, LockRng, LockBaseDelayMicros) &&
+      !ReadLock.openFailed()) {
     ++Misses;
     ++LockTimeouts;
     return nullptr;
@@ -702,7 +707,11 @@ bool CacheStore::save(uint64_t Key, uint64_t ProgramSetHash,
   FileLock WriteLock;
   if (!WriteLock.acquire(lockPathFor(Key), FileLock::Mode::Exclusive,
                          LockMaxAttempts, LockRng, LockBaseDelayMicros)) {
-    ++LockTimeouts;
+    // An unopenable lock file (read-only store directory) is not
+    // contention; the write-back is skipped either way, but only real
+    // contention counts as a lock timeout.
+    if (!WriteLock.openFailed())
+      ++LockTimeouts;
     return false;
   }
   FaultInjection::instance().crashPoint("store.locked");

@@ -41,7 +41,11 @@
 ///    (support/FileLock). Exhausting the retries degrades gracefully:
 ///    a reader counts a miss, a writer skips the write-back (counted
 ///    in lockTimeouts()). flock dies with its process, so crashed
-///    holders never strand a lock.
+///    holders never strand a lock. A store directory where the lock
+///    file cannot even be opened (read-only, e.g. a team-prebuilt
+///    cache) still serves hits: readers fall back to lockless reads
+///    (rename atomicity keeps them safe) and writers skip the
+///    write-back without counting a timeout.
 ///  - Any mismatch on load — wrong magic, wrong version, wrong key,
 ///    truncation, checksum failure, or out-of-range indices in the
 ///    decoded structures — **quarantines** the file (renamed to

@@ -16,6 +16,7 @@ using namespace pbt;
 using namespace pbt::exp;
 
 Lab &LabPool::lab(const MachineConfig &MachineCfg) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (auto &Entry : Labs)
     if (Entry.first == MachineCfg && Entry.first.Name == MachineCfg.Name)
       return *Entry.second;
@@ -24,6 +25,7 @@ Lab &LabPool::lab(const MachineConfig &MachineCfg) {
 }
 
 std::vector<Lab *> LabPool::labs() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<Lab *> Out;
   Out.reserve(Labs.size());
   for (auto &Entry : Labs)

@@ -33,6 +33,7 @@
 #include "support/Table.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,12 +54,20 @@ public:
   /// with different display names get their own labs so artifacts label
   /// them correctly). Linear scan: a process touches a handful of
   /// machines at most.
+  ///
+  /// Resolution is thread-safe (the pool's map is mutex-guarded, and
+  /// heap-allocated Labs keep their addresses across growth), so a
+  /// detached runner abandoned by a timed-out experiment can never
+  /// corrupt the pool itself. The returned Lab is NOT thread-safe;
+  /// bench/driver stops launching experiments once a runner has been
+  /// abandoned so two bodies never share one Lab concurrently.
   Lab &lab(const MachineConfig &MachineCfg);
 
   /// Every lab created so far (driver diagnostics).
   std::vector<Lab *> labs();
 
 private:
+  std::mutex Mutex;
   std::vector<std::pair<MachineConfig, std::unique_ptr<Lab>>> Labs;
 };
 

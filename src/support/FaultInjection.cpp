@@ -34,8 +34,18 @@ FaultInjection &FaultInjection::instance() {
   static FaultInjection *FI = [] {
     auto *I = new FaultInjection();
     if (const char *Spec = envString("PBT_FAULTS"))
-      if (*Spec)
-        I->configure(parse(Spec));
+      if (*Spec) {
+        // The first call can come from anywhere (a store op deep in a
+        // gc pass, a test fixture) with no catch in sight; a typo'd
+        // env var must be a clean diagnostic, never std::terminate
+        // from a throwing static initializer.
+        try {
+          I->configure(parse(Spec));
+        } catch (const std::invalid_argument &E) {
+          std::fprintf(stderr, "%s\n", E.what());
+          std::exit(2);
+        }
+      }
     return I;
   }();
   return *FI;
@@ -71,6 +81,8 @@ FaultConfig FaultInjection::parse(const std::string &Spec) {
       C.TornRenameP = parseProbability(Key, Value);
     } else if (Key == "vanish") {
       C.VanishP = parseProbability(Key, Value);
+    } else if (Key == "lock_open") {
+      C.LockOpenP = parseProbability(Key, Value);
     } else if (Key == "crash_at") {
       size_t Colon = Value.find(':');
       C.CrashPoint = Value.substr(0, Colon);
@@ -133,6 +145,12 @@ bool FaultInjection::tornRename(const char *) {
   if (!armed())
     return false;
   return roll(config().TornRenameP);
+}
+
+bool FaultInjection::failLockOpen(const char *) {
+  if (!armed())
+    return false;
+  return roll(config().LockOpenP);
 }
 
 bool FaultInjection::maybeVanish(const char *, const std::string &Path) {

@@ -30,12 +30,17 @@
 ///  - **Vanish** (`maybeVanish`): deletes a file out from under the
 ///    caller just before it acts on it, simulating a concurrent
 ///    process evicting the same entry (the gc ENOENT race).
+///  - **Lock open** (`failLockOpen`): the advisory lock file cannot be
+///    opened or created — modeling a read-only store directory (e.g. a
+///    team-prebuilt cache); readers must fall back to lockless reads,
+///    writers must skip their write-back.
 ///
 /// All randomness flows through one seeded `Rng`, so a fault schedule
 /// is reproducible for a given seed and query sequence. Faults are off
 /// by default and cost one relaxed atomic load per decision point when
 /// disarmed. Configuration is programmatic (`configure`) or via the
-/// `PBT_FAULTS` environment variable, parsed on first use:
+/// `PBT_FAULTS` environment variable, parsed on first use (a malformed
+/// spec prints the parse error and exits 2 — never std::terminate):
 ///
 ///   PBT_FAULTS="seed=7,eio=0.05,short_write=0.1,torn_rename=0.1,
 ///               vanish=0.5,crash_at=store.locked:2"
@@ -61,13 +66,14 @@ struct FaultConfig {
   double ShortWriteP = 0; ///< P(temp write truncated + left behind).
   double TornRenameP = 0; ///< P(rename lands a prefix of the data).
   double VanishP = 0;     ///< P(file deleted under the caller).
+  double LockOpenP = 0;   ///< P(advisory lock file cannot be opened).
   std::string CrashPoint; ///< Named crash point; empty = never crash.
   uint32_t CrashAtHit = 1; ///< _exit(137) on this hit of CrashPoint.
 
   /// True when any fault can fire.
   bool enabled() const {
     return EioP > 0 || ShortWriteP > 0 || TornRenameP > 0 || VanishP > 0 ||
-           !CrashPoint.empty();
+           LockOpenP > 0 || !CrashPoint.empty();
   }
 };
 
@@ -78,7 +84,7 @@ public:
   static FaultInjection &instance();
 
   /// Parses a `key=value,...` spec (keys: seed, eio, short_write,
-  /// torn_rename, vanish, crash_at=<point>[:<hit>]). Throws
+  /// torn_rename, vanish, lock_open, crash_at=<point>[:<hit>]). Throws
   /// std::invalid_argument on unknown keys or malformed values.
   static FaultConfig parse(const std::string &Spec);
 
@@ -98,6 +104,7 @@ public:
   bool failOp(const char *Op);        ///< EIO-style failure?
   bool truncateWrite(const char *Op); ///< Leave a short temp write?
   bool tornRename(const char *Op);    ///< Tear the rename?
+  bool failLockOpen(const char *Op);  ///< Lock file unopenable?
 
   /// Deletes \p Path (simulating a concurrent evictor) with
   /// probability VanishP; returns true when it did.

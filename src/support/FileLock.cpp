@@ -6,6 +6,8 @@
 
 #include "support/FileLock.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cerrno>
 
@@ -22,9 +24,18 @@ int flockOp(FileLock::Mode M) {
 }
 
 /// Opens (creating) the lock file. O_CLOEXEC keeps the descriptor —
-/// and with it the lock — from leaking into spawned children.
-int openLockFile(const std::string &Path) {
-  return ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+/// and with it the lock — from leaking into spawned children. On a
+/// read-only directory the create fails; shared (reader) acquisitions
+/// then fall back to a read-only descriptor, which flock is happy to
+/// lock, so a pre-existing lock file still serializes readers against
+/// writers on another mount.
+int openLockFile(const std::string &Path, FileLock::Mode M) {
+  if (FaultInjection::instance().failLockOpen("lock.open"))
+    return -1;
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (Fd < 0 && M == FileLock::Mode::Shared)
+    Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  return Fd;
 }
 
 } // namespace
@@ -32,9 +43,12 @@ int openLockFile(const std::string &Path) {
 bool FileLock::acquire(const std::string &Path, Mode M, unsigned MaxAttempts,
                        Rng &Backoff, unsigned BaseDelayMicros) {
   release();
-  Fd = openLockFile(Path);
-  if (Fd < 0)
+  OpenFailed = false;
+  Fd = openLockFile(Path, M);
+  if (Fd < 0) {
+    OpenFailed = true;
     return false;
+  }
   for (unsigned Attempt = 0; Attempt < std::max(1u, MaxAttempts); ++Attempt) {
     if (Attempt > 0) {
       // Exponential backoff capped at 5 ms, plus jitter in [0, delay)
@@ -57,9 +71,12 @@ bool FileLock::acquire(const std::string &Path, Mode M, unsigned MaxAttempts,
 
 bool FileLock::tryAcquire(const std::string &Path, Mode M) {
   release();
-  Fd = openLockFile(Path);
-  if (Fd < 0)
+  OpenFailed = false;
+  Fd = openLockFile(Path, M);
+  if (Fd < 0) {
+    OpenFailed = true;
     return false;
+  }
   if (::flock(Fd, flockOp(M)) == 0)
     return true;
   ::close(Fd);

@@ -23,6 +23,11 @@
 ///    writes, gc skips live entries); *correctness* rests on
 ///    `writeFileAtomic`'s temp-file + rename protocol, which keeps the
 ///    store safe even against non-cooperating or raced access.
+///  - **Degrades on unopenable lock files.** A read-only store
+///    directory (a team-prebuilt cache) cannot create `.lck` files;
+///    shared acquisitions fall back to a read-only descriptor when the
+///    file exists, and `openFailed()` tells callers apart from
+///    contention so readers can proceed locklessly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,11 +76,20 @@ public:
 
   bool held() const { return Fd >= 0; }
 
+  /// True when the last acquire/tryAcquire failed because the lock
+  /// file could not even be opened (e.g. a read-only store directory),
+  /// as opposed to the lock being contended. Callers use it to pick
+  /// the right degradation: a reader on an unopenable lock falls back
+  /// to a lockless read (atomic rename keeps reads safe without it),
+  /// while contention degrades to a miss / skipped write-back.
+  bool openFailed() const { return OpenFailed; }
+
   /// Unlocks and closes; a no-op when nothing is held.
   void release();
 
 private:
   int Fd = -1;
+  bool OpenFailed = false;
 };
 
 } // namespace pbt

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <thread>
 #include <utime.h>
 
 using namespace pbt;
@@ -832,4 +833,33 @@ TEST(HarnessTest, DriverSharedLabsByteIdenticalArtifacts) {
   for (Lab *L : Pool.labs())
     PoolHits += L->cache().hits();
   EXPECT_GT(PoolHits, 0u);
+}
+
+TEST(LabPoolTest, ConcurrentResolutionIsSafeAndDeduplicated) {
+  // A timed-out experiment's abandoned runner can still call lab()
+  // while another thread touches the pool; resolution must not race on
+  // the pool's map, and concurrent requests for one machine must get
+  // ONE lab. (Labs themselves stay single-threaded: the driver stops
+  // launching experiments once a runner has been abandoned.)
+  LabPool Pool;
+  MachineConfig A = MachineConfig::quadAsymmetric();
+  MachineConfig B = MachineConfig::quadAsymmetric();
+  B.Name = "renamed-twin"; // Same structure, own lab (name-keyed).
+  constexpr int NumThreads = 8;
+  std::vector<Lab *> SeenA(NumThreads, nullptr);
+  std::vector<Lab *> SeenB(NumThreads, nullptr);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&, I] {
+      SeenA[I] = &Pool.lab(A);
+      SeenB[I] = &Pool.lab(B);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Pool.labs().size(), 2u);
+  EXPECT_NE(SeenA[0], SeenB[0]);
+  for (int I = 1; I < NumThreads; ++I) {
+    EXPECT_EQ(SeenA[I], SeenA[0]);
+    EXPECT_EQ(SeenB[I], SeenB[0]);
+  }
 }

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <dirent.h>
@@ -473,6 +474,74 @@ TEST(FaultInjectionTest, ContendedLockDegradesToMissAndSkippedWrite) {
   Writer.release();
   EXPECT_TRUE(Rig.load() != nullptr);
   EXPECT_TRUE(Rig.save());
+}
+
+TEST(FaultInjectionTest, LockOpenFailureIsDistinguishedFromContention) {
+  FaultScope Scope;
+  // Unopenable lock file (no such directory): openFailed(), no lock.
+  FileLock L;
+  Rng Jitter(1);
+  EXPECT_FALSE(L.acquire("fi_no_such_dir/x.lck", FileLock::Mode::Shared,
+                         /*MaxAttempts=*/2, Jitter, /*BaseDelayMicros=*/1));
+  EXPECT_TRUE(L.openFailed());
+  EXPECT_FALSE(L.held());
+
+  // Plain contention: the file opened fine, only the flock stayed held.
+  FileLock Holder;
+  ASSERT_TRUE(Holder.tryAcquire("fi_contended.lck",
+                                FileLock::Mode::Exclusive));
+  FileLock Contender;
+  EXPECT_FALSE(Contender.acquire("fi_contended.lck",
+                                 FileLock::Mode::Exclusive,
+                                 /*MaxAttempts=*/2, Jitter,
+                                 /*BaseDelayMicros=*/1));
+  EXPECT_FALSE(Contender.openFailed());
+  Holder.release();
+  std::remove("fi_contended.lck");
+}
+
+TEST(FaultInjectionTest, UnopenableLockFileFallsBackToLocklessRead) {
+  FaultScope Scope;
+  StoreRig Rig("fi_lock_open.cache", 55);
+
+  // Every lock-file open fails from here on — the in-process model of
+  // a read-only team-prebuilt PBT_CACHE_DIR, where the .lck files can
+  // be neither created nor opened for writing.
+  FaultConfig C;
+  C.LockOpenP = 1;
+  FaultInjection::instance().configure(C);
+
+  // Reads still hit: the reader degrades to a lockless read (atomic
+  // rename keeps it safe), NOT to a permanent miss, and an unopenable
+  // lock is not counted as contention.
+  uint64_t MissesBefore = Rig.Store.misses();
+  uint64_t TimeoutsBefore = Rig.Store.lockTimeouts();
+  EXPECT_TRUE(Rig.load() != nullptr);
+  EXPECT_EQ(Rig.Store.misses(), MissesBefore);
+  EXPECT_EQ(Rig.Store.lockTimeouts(), TimeoutsBefore);
+
+  // Writers skip the write-back, again without a lock-timeout count.
+  EXPECT_FALSE(Rig.save());
+  EXPECT_EQ(Rig.Store.lockTimeouts(), TimeoutsBefore);
+
+  // A healthy store directory restores full behavior.
+  FaultInjection::instance().reset();
+  EXPECT_TRUE(Rig.save());
+  EXPECT_TRUE(Rig.load() != nullptr);
+}
+
+TEST(FaultInjectionDeathTest, MalformedEnvSpecExitsCleanly) {
+  // The env spec is parsed inside instance()'s one-time initializer,
+  // whose first call can come from anywhere with no catch in sight
+  // (driver --gc-cache, a store op); a typo must be a clean exit-2
+  // diagnostic, never std::terminate. "threadsafe" re-executes the
+  // test in a fresh child process, so the child's singleton really is
+  // uninitialized when the statement runs.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ::setenv("PBT_FAULTS", "eio=banana", 1);
+  EXPECT_EXIT(FaultInjection::instance(), testing::ExitedWithCode(2),
+              "probability");
+  ::unsetenv("PBT_FAULTS");
 }
 
 TEST(FaultInjectionTest, SeamIsOnTheStorePath) {
