@@ -1,20 +1,35 @@
 //===- bench/micro_interpreter.cpp - execution-engine microbenchmark ------===//
 //
 // Measures the simulator's inner loop: interpreted blocks/sec and
-// simulated cycles/sec for the block-at-a-time reference interpreter vs
-// the flat-image engine (exact and fused-chain modes), on the suite's
-// heaviest workload (410.bwaves, the same program micro_static_pipeline
-// uses for the static passes). Runs both an uninstrumented image and a
-// Loop[45]-instrumented one so the mark path is exercised too.
+// simulated cycles/sec for all three execution engines — the
+// block-at-a-time reference interpreter, the exact flat-image engine,
+// and the validated fast-replay engine — on three images: the suite's
+// heaviest workload (410.bwaves) plain and Loop[45]-instrumented, plus
+// a chain-heavy synthetic (long mark-free jump chains inside a
+// high-trip-count loop) that isolates the fused-chain fast path.
+//
+// Alongside raw throughput the artifact carries a DriftReport: the
+// fast-replay engine replays a small mixed workload against its exact
+// twin, and the report records whether integer stats and completion
+// order were identical and how far cycle totals drifted — the
+// promotion contract docs/ARCHITECTURE.md documents and
+// tests/fastreplay_test.cpp enforces.
 //
 // Emits BENCH_interpreter.json alongside the human-readable table so the
 // interpreter's performance trajectory is tracked across PRs.
 // PBT_BENCH_SCALE scales the repetition count; PBT_INTERP_REPS pins it.
+// PBT_INTERP_MIN_FAST_SPEEDUP, when set > 0, is a hard floor on the
+// fast-replay-vs-flat blocks/sec ratio on the chain-heavy image: the
+// benchmark exits nonzero below it (the CI perf-smoke gate).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "ir/IRBuilder.h"
+#include "workload/Drift.h"
+
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -70,6 +85,36 @@ Json engineJson(const EngineResult &R) {
   return J;
 }
 
+/// The fused-chain fast path's best case, shaped like the inner loop of
+/// a straight-line kernel: \p ChainLen mark-free Jump blocks in a row
+/// inside a loop latch with \p Trips iterations. Uninstrumented, every
+/// body block lowers to FlatOp::Chain, so the fast-replay engine
+/// retires the whole body as one fused charge per iteration while the
+/// exact engines step all ChainLen blocks.
+Program buildChainHeavy(uint32_t ChainLen, uint32_t Trips) {
+  IRBuilder B("chain_heavy", /*Seed=*/7);
+  uint32_t Main = B.createProc("main");
+  uint32_t Entry = B.addBlock(Main);
+
+  std::vector<uint32_t> Body;
+  for (uint32_t I = 0; I < ChainLen; ++I) {
+    uint32_t Blk = B.addBlock(Main);
+    B.appendMix(Main, Blk, InstMix::compute(/*Count=*/12));
+    Body.push_back(Blk);
+  }
+  B.setJump(Main, Entry, Body.front());
+  for (uint32_t I = 0; I + 1 < ChainLen; ++I)
+    B.setJump(Main, Body[I], Body[I + 1]);
+
+  uint32_t Latch = B.addBlock(Main);
+  B.appendMix(Main, Latch, InstMix::compute(/*Count=*/4));
+  B.setJump(Main, Body.back(), Latch);
+  uint32_t Exit = B.addBlock(Main);
+  B.setRet(Main, Exit);
+  B.setLoop(Main, Latch, Body.front(), Exit, Trips);
+  return B.take();
+}
+
 } // namespace
 
 int main() {
@@ -83,6 +128,13 @@ int main() {
       Prog = buildBenchmark(S);
   std::vector<Program> Programs;
   Programs.push_back(std::move(Prog));
+  // Scale the chain-heavy trip count with the bench scale, but keep a
+  // floor: the CI gate reads this row's speedup, so even a smoke run
+  // must execute enough blocks for the ratio to be signal, not timer
+  // noise.
+  uint32_t Trips = static_cast<uint32_t>(
+      std::max(10000.0, 20000 * H.scale()));
+  Programs.push_back(buildChainHeavy(/*ChainLen=*/48, Trips));
 
   Lab &L = H.customLab(std::move(Programs),
                        MachineConfig::quadAsymmetric());
@@ -97,33 +149,40 @@ int main() {
   Reference.Engine = ExecEngine::Reference;
   SimConfig Flat;
   Flat.Engine = ExecEngine::Flat;
-  SimConfig Fused = Flat;
-  Fused.FusedChains = true;
+  SimConfig Fast;
+  Fast.Engine = ExecEngine::FastReplay;
+  const SimConfig *Sims[3] = {&Reference, &Flat, &Fast};
 
   struct Row {
     const char *Image;
     const char *Key;
+    uint32_t Bench;
     const PreparedSuite *Suite;
     const SimConfig *Sim;
     EngineResult R;
   };
-  std::vector<Row> Rows = {
-      {"plain", "reference", &Plain, &Reference, {}},
-      {"plain", "flat", &Plain, &Flat, {}},
-      {"plain", "flat_fused", &Plain, &Fused, {}},
-      {"instrumented", "reference", &Marked, &Reference, {}},
-      {"instrumented", "flat", &Marked, &Flat, {}},
-      {"instrumented", "flat_fused", &Marked, &Fused, {}},
+  std::vector<Row> Rows;
+  struct ImageSpec {
+    const char *Name;
+    uint32_t Bench;
+    const PreparedSuite *Suite;
   };
+  const ImageSpec Images[3] = {{"plain", 0, &Plain},
+                               {"instrumented", 0, &Marked},
+                               {"chain_heavy", 1, &Plain}};
+  for (const ImageSpec &Img : Images)
+    for (const SimConfig *SC : Sims)
+      Rows.push_back({Img.Name, engineName(SC->Engine), Img.Bench,
+                      Img.Suite, SC, {}});
   for (Row &Entry : Rows)
-    Entry.R = measure(*Entry.Suite, 0, L.machine(), *Entry.Sim, Reps);
+    Entry.R = measure(*Entry.Suite, Entry.Bench, L.machine(), *Entry.Sim,
+                      Reps);
 
   Table T({"image", "engine", "wall s", "Mblocks/s", "Mcycles/s",
            "vs reference"});
-  double RefBps[2] = {Rows[0].R.blocksPerSec(), Rows[3].R.blocksPerSec()};
   for (size_t I = 0; I < Rows.size(); ++I) {
     const Row &Entry = Rows[I];
-    double Ref = RefBps[I / 3];
+    double Ref = Rows[I - I % 3].R.blocksPerSec();
     T.addRow({Entry.Image, Entry.Key, Table::fmt(Entry.R.WallSec, 4),
               Table::fmt(Entry.R.blocksPerSec() / 1e6, 2),
               Table::fmt(Entry.R.cyclesPerSec() / 1e6, 1),
@@ -132,26 +191,91 @@ int main() {
   }
   H.table(T);
 
-  const FlatImage &FI = *Plain.Flats[0];
-  std::printf("\nflat image: %u blocks, %u chain records (%.0f%%), "
-              "%u configs/block\n",
+  const FlatImage &FI = *Plain.Flats[1];
+  std::printf("\nchain-heavy flat image: %u blocks, %u chain records "
+              "(%.0f%%), %u configs/block\n",
               FI.numBlocks(), FI.chainRecordCount(),
               100.0 * FI.chainRecordCount() / FI.numBlocks(),
               FI.configStride());
-  double SpeedPlain =
-      RefBps[0] > 0 ? Rows[1].R.blocksPerSec() / RefBps[0] : 0;
-  double SpeedMarked =
-      RefBps[1] > 0 ? Rows[4].R.blocksPerSec() / RefBps[1] : 0;
-  std::printf("flat-vs-reference speedup: %.2fx plain, %.2fx "
-              "instrumented (acceptance: >= 2x plain)\n",
-              SpeedPlain, SpeedMarked);
+
+  // Per-image fast-replay-vs-flat ratios (rows are image-major:
+  // reference, flat, fast_replay).
+  double Speedups[3];
+  for (int Img = 0; Img < 3; ++Img) {
+    double FlatBps = Rows[Img * 3 + 1].R.blocksPerSec();
+    Speedups[Img] =
+        FlatBps > 0 ? Rows[Img * 3 + 2].R.blocksPerSec() / FlatBps : 0;
+  }
+  std::printf("fast-replay-vs-flat speedup: %.2fx plain, %.2fx "
+              "instrumented, %.2fx chain-heavy (acceptance: >= 1.5x "
+              "chain-heavy)\n",
+              Speedups[0], Speedups[1], Speedups[2]);
+
+  // Validation twin-run: the same mixed workload over both images,
+  // replayed exactly and fast, folded into the promotion checker.
+  DriftReport Drift;
+  {
+    Workload W = Workload::random(/*NumSlots=*/4, /*JobsPerSlot=*/16,
+                                  /*NumBenchmarks=*/2, /*Seed=*/21);
+    // Deliberately unscaled: even a smoke run (tiny PBT_BENCH_SCALE)
+    // must compare a meaningful number of completed jobs for the
+    // promotion check to mean anything.
+    double Horizon = 120;
+    RunResult Exact = runWorkload(Plain, W, L.machine(), Flat, Horizon);
+    RunResult FastRun = runWorkload(Plain, W, L.machine(), Fast, Horizon);
+    Drift.merge(Exact, FastRun);
+  }
+  std::printf("drift report: %zu jobs, integer stats %s, order %s, max "
+              "rel cycle drift %.2e\n",
+              Drift.Jobs, Drift.IntegerStatsIdentical ? "identical" : "DIVERGED",
+              Drift.CompletionOrderIdentical ? "identical" : "DIVERGED",
+              Drift.MaxRelCycleDrift);
 
   Json &Extra = H.json();
   Extra["workload"] = WorkloadName;
   Extra["repetitions"] = Reps;
   for (const Row &Entry : Rows)
     Extra[Entry.Image][Entry.Key] = engineJson(Entry.R);
-  Extra["speedup_flat_plain"] = SpeedPlain;
-  Extra["speedup_flat_instrumented"] = SpeedMarked;
-  return H.finish();
+  Extra["speedup_fast_plain"] = Speedups[0];
+  Extra["speedup_fast_instrumented"] = Speedups[1];
+  Extra["speedup_fast_chain_heavy"] = Speedups[2];
+  // Kept under their historical names so trajectory tooling keeps
+  // working: flat-vs-reference on the bwaves image.
+  double RefPlain = Rows[0].R.blocksPerSec();
+  double RefMarked = Rows[3].R.blocksPerSec();
+  Extra["speedup_flat_plain"] =
+      RefPlain > 0 ? Rows[1].R.blocksPerSec() / RefPlain : 0;
+  Extra["speedup_flat_instrumented"] =
+      RefMarked > 0 ? Rows[4].R.blocksPerSec() / RefMarked : 0;
+  Json D = Json::object();
+  D["runs"] = Drift.Runs;
+  D["jobs"] = Drift.Jobs;
+  D["integer_stats_identical"] = Drift.IntegerStatsIdentical;
+  D["completion_order_identical"] = Drift.CompletionOrderIdentical;
+  D["max_rel_cycle_drift"] = Drift.MaxRelCycleDrift;
+  D["max_rel_completion_drift"] = Drift.MaxRelCompletionDrift;
+  D["max_rel_total_cycle_drift"] = Drift.MaxRelTotalCycleDrift;
+  Extra["fast_replay_drift"] = std::move(D);
+
+  int Rc = H.finish();
+
+  // CI perf-smoke gate: a fast-replay regression that loses the fused
+  // chain win fails the build, not just the dashboard. The drift
+  // contract is enforced whenever the gate is armed, too.
+  double Floor = envDouble("PBT_INTERP_MIN_FAST_SPEEDUP", 0);
+  if (Floor > 0) {
+    if (Speedups[2] < Floor) {
+      std::fprintf(stderr,
+                   "FAIL: fast-replay chain-heavy speedup %.2fx below "
+                   "PBT_INTERP_MIN_FAST_SPEEDUP=%.2fx\n",
+                   Speedups[2], Floor);
+      return 1;
+    }
+    if (!Drift.withinBound(1e-9)) {
+      std::fprintf(stderr, "FAIL: fast-replay drift outside the "
+                           "promotion bound (see drift report above)\n");
+      return 1;
+    }
+  }
+  return Rc;
 }

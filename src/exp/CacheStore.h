@@ -83,8 +83,11 @@ public:
   /// Part of the file header AND the key hash, so a version bump
   /// invalidates old entries without ever misreading them. v2 dropped
   /// the per-program spawn-affinity word (the HASS-static comparator
-  /// moved from suite preparation to the scheduler-policy axis).
-  static constexpr uint32_t FormatVersion = 2;
+  /// moved from suite preparation to the scheduler-policy axis); v3
+  /// changed FlatImage chain cycle sums to left-to-right accumulation
+  /// (the fast-replay drift bound), so v2 images would replay with
+  /// stale fused sums.
+  static constexpr uint32_t FormatVersion = 3;
 
   /// Opens (creating if needed) the store directory \p Dir and sweeps
   /// stale debris left by crashed processes (see sweepStale()).

@@ -47,12 +47,15 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
   std::printf("== %s ==\n(reproduces %s; PBT_BENCH_SCALE=%.2f scales the "
               "simulated horizon)\n\n",
               Title.c_str(), PaperRef.c_str(), Scale);
-  // v4: sweeps[].cells[] gained the "scenario" label (the traffic-
-  // scenario axis), metrics gained the "latency" block and "p95_flow".
-  // v3 added the per-cell "scheduler" label; v2 replaced live
-  // suite_cache counters with the grid-pure distinct_preparations —
-  // see docs/BENCH_SCHEMA.md.
-  Root["schema"] = "pbt-bench-v4";
+  // v5: sweeps[] gained the "engine" label (which execution engine
+  // replayed the grid's cells — exact engines vs validated
+  // fast-replay) and metrics gained "percentile_mode" (exact sorted
+  // percentiles vs the streaming P² sketch). v4 added the per-cell
+  // "scenario" label, the "latency" block, and "p95_flow"; v3 the
+  // per-cell "scheduler" label; v2 replaced live suite_cache counters
+  // with the grid-pure distinct_preparations — see
+  // docs/BENCH_SCHEMA.md.
+  Root["schema"] = "pbt-bench-v5";
   Root["bench"] = Name;
   Root["title"] = std::move(Title);
   Root["paper_ref"] = std::move(PaperRef);
@@ -86,6 +89,10 @@ Json runMetrics(const RunResult &Run, const FairnessMetrics &Fair,
   M["max_stretch"] = Fair.MaxStretch;
   M["avg_process_time"] = Fair.AvgProcessTime;
   M["p95_flow"] = Fair.P95Flow;
+  // Sweep-cell metrics are always exact-percentile (artifacts are
+  // compared byte for byte); the tag makes the mode explicit so
+  // streamed-metrics artifacts can never be mistaken for exact ones.
+  M["percentile_mode"] = percentileModeName(PercentileMode::Exact);
   Json L = Json::object();
   L["jobs"] = Latency.Jobs;
   L["mean_turnaround"] = Latency.MeanTurnaround;
@@ -185,6 +192,7 @@ SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
 
   Json Record = Json::object();
   Record["machine"] = L.machine().Name;
+  Record["engine"] = engineName(Grid.Engine);
   Record["cells"] = std::move(Cells);
   Record["distinct_preparations"] = Preparations.size();
   Root["sweeps"].push(std::move(Record));

@@ -74,10 +74,14 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
   // for its workload in the batch) would simulate the identical replay
   // twice; it reuses the baseline's result instead (bit-identical by
   // construction: same images, same tuner, same queues, same policy).
+  // The grid's engine applies to baselines and cells alike, so
+  // vs-baseline deltas always compare like with like.
+  SimConfig CellSim = L.sim();
+  CellSim.Engine = Grid.Engine;
   std::vector<WorkloadJob> Jobs;
   size_t BaselineJobs = Grid.WithBaseline ? Grid.Workloads.size() : 0;
   for (size_t W = 0; W < BaselineJobs; ++W)
-    Jobs.push_back({&BaselineSuite, &Workloads[W], &L.machine(), L.sim(),
+    Jobs.push_back({&BaselineSuite, &Workloads[W], &L.machine(), CellSim,
                     Grid.Workloads[W].Horizon, &Iso, SchedulerSpec(),
                     ScenarioSpec()});
   std::vector<size_t> CellJob; // Per cell: index into Jobs.
@@ -96,7 +100,7 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
             const PreparedSuite &Suite =
                 Suites[T * Grid.TypingSeeds.size() + S];
             CellJob.push_back(Jobs.size());
-            Jobs.push_back({&Suite, &Workloads[W], &L.machine(), L.sim(),
+            Jobs.push_back({&Suite, &Workloads[W], &L.machine(), CellSim,
                             Grid.Workloads[W].Horizon, &Iso,
                             Schedulers[C], Scenarios[N]});
           }

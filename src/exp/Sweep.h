@@ -70,6 +70,16 @@ struct SweepGrid {
   /// point — uninstrumented programs under the oblivious scheduler —
   /// regardless of the Schedulers axis.
   bool WithBaseline = true;
+  /// Execution engine for EVERY replay of this grid, baselines
+  /// included (comparisons must never mix engines within a grid). The
+  /// exact Flat default keeps paper-figure grids bit-identical to the
+  /// reference interpreter; throughput grids (arrival-rate sweeps,
+  /// long scenarios) declare FastReplay and accept its documented
+  /// ulp-bounded cycle drift for an integer multiple of blocks/sec.
+  /// Orthogonal to preparation (the engine only steers replays), so it
+  /// never appears in suite-cache keys. Isolated-runtime oracles (t_i)
+  /// are measured by the Lab, always exact, regardless of this field.
+  ExecEngine Engine = ExecEngine::Flat;
 
   /// The scheduler axis with the empty-vector default applied. Both
   /// runSweep (execution) and the harness (cell labeling) index

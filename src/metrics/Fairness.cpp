@@ -13,7 +13,37 @@
 
 using namespace pbt;
 
-FairnessMetrics pbt::computeFairness(const std::vector<CompletedJob> &Jobs) {
+void FairnessAccumulator::add(const CompletedJob &Job) {
+  ++Jobs;
+  double Flow = Job.Completion - Job.Arrival;
+  FlowSum += Flow;
+  if (Flow > MaxFlow)
+    MaxFlow = Flow;
+  if (Job.Isolated > 0 && Flow / Job.Isolated > MaxStretch)
+    MaxStretch = Flow / Job.Isolated;
+  P95F.add(Flow);
+}
+
+FairnessMetrics FairnessAccumulator::finish() const {
+  FairnessMetrics Metrics;
+  if (Jobs == 0)
+    return Metrics;
+  Metrics.Jobs = Jobs;
+  Metrics.MaxFlow = MaxFlow;
+  Metrics.MaxStretch = MaxStretch;
+  Metrics.AvgProcessTime = FlowSum / static_cast<double>(Jobs);
+  Metrics.P95Flow = P95F.value();
+  return Metrics;
+}
+
+FairnessMetrics pbt::computeFairness(const std::vector<CompletedJob> &Jobs,
+                                     PercentileMode Mode) {
+  if (Mode == PercentileMode::Streaming) {
+    FairnessAccumulator Acc;
+    for (const CompletedJob &Job : Jobs)
+      Acc.add(Job);
+    return Acc.finish();
+  }
   FairnessMetrics Metrics;
   if (Jobs.empty())
     return Metrics;

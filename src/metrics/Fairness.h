@@ -18,6 +18,7 @@
 #ifndef PBT_METRICS_FAIRNESS_H
 #define PBT_METRICS_FAIRNESS_H
 
+#include "support/Statistics.h"
 #include "workload/Runner.h"
 
 #include <cstddef>
@@ -36,8 +37,28 @@ struct FairnessMetrics {
 };
 
 /// Computes the metrics over \p Jobs. Jobs without an isolated-time
-/// oracle (Isolated <= 0) are skipped for max-stretch only.
-FairnessMetrics computeFairness(const std::vector<CompletedJob> &Jobs);
+/// oracle (Isolated <= 0) are skipped for max-stretch only. Exact mode
+/// (the default) buffers flows for the P95 percentile; Streaming
+/// replays through a FairnessAccumulator (P²-sketched P95Flow,
+/// identical maxima and mean).
+FairnessMetrics computeFairness(const std::vector<CompletedJob> &Jobs,
+                                PercentileMode Mode = PercentileMode::Exact);
+
+/// Streaming fairness accumulator: running maxima and mean, P²-sketched
+/// P95Flow — O(1) memory in job count (see LatencyAccumulator).
+class FairnessAccumulator {
+public:
+  void add(const CompletedJob &Job);
+  size_t jobs() const { return Jobs; }
+  FairnessMetrics finish() const;
+
+private:
+  size_t Jobs = 0;
+  double FlowSum = 0;
+  double MaxFlow = 0;
+  double MaxStretch = 0;
+  P2Quantile P95F{95};
+};
 
 /// Percent decrease of \p Value relative to \p Baseline: positive is an
 /// improvement, matching the paper's Table 2 sign convention.

@@ -12,17 +12,74 @@
 
 using namespace pbt;
 
-LatencyMetrics pbt::computeLatency(const RunResult &Run,
-                                   const MachineConfig &Machine) {
-  LatencyMetrics M;
-  M.Jobs = Run.Completed.size();
+namespace {
 
+/// Completed jobs per megacycle of machine capacity over the horizon —
+/// the one definition shared by both percentile modes.
+double jobsPerMegacycle(size_t Jobs, double Horizon,
+                        const MachineConfig &Machine) {
   double CapacityCycles = 0;
   for (const CoreDesc &Core : Machine.Cores)
-    CapacityCycles += Machine.CoreTypes[Core.TypeId].Frequency * Run.Horizon;
-  if (CapacityCycles > 0)
-    M.JobsPerMegacycle =
-        static_cast<double>(M.Jobs) / (CapacityCycles / 1e6);
+    CapacityCycles += Machine.CoreTypes[Core.TypeId].Frequency * Horizon;
+  if (CapacityCycles <= 0)
+    return 0;
+  return static_cast<double>(Jobs) / (CapacityCycles / 1e6);
+}
+
+} // namespace
+
+void LatencyAccumulator::add(const CompletedJob &Job) {
+  ++Jobs;
+  double T = Job.Completion - Job.Arrival;
+  TurnSum += T;
+  P50T.add(T);
+  P95T.add(T);
+  P99T.add(T);
+  if (Job.Isolated > 0) {
+    double S = T / Job.Isolated;
+    ++SlowJobs;
+    SlowSum += S;
+    P95S.add(S);
+    if (S > MaxSlow)
+      MaxSlow = S;
+  }
+}
+
+LatencyMetrics LatencyAccumulator::finish(double Horizon,
+                                          const MachineConfig &Machine) const {
+  LatencyMetrics M;
+  M.Jobs = Jobs;
+  M.JobsPerMegacycle = jobsPerMegacycle(Jobs, Horizon, Machine);
+  if (Jobs == 0)
+    return M;
+  M.MeanTurnaround = TurnSum / static_cast<double>(Jobs);
+  M.P50Turnaround = P50T.value();
+  M.P95Turnaround = P95T.value();
+  M.P99Turnaround = P99T.value();
+  if (SlowJobs > 0) {
+    M.MeanSlowdown = SlowSum / static_cast<double>(SlowJobs);
+    M.P95Slowdown = P95S.value();
+    M.MaxSlowdown = MaxSlow;
+  }
+  return M;
+}
+
+LatencyMetrics pbt::computeLatency(const RunResult &Run,
+                                   const MachineConfig &Machine,
+                                   PercentileMode Mode) {
+  if (Mode == PercentileMode::Streaming) {
+    // Replay the buffered completions through the streaming
+    // accumulator, in their canonical order — what a sink-fed run
+    // would have produced had the jobs arrived in this order.
+    LatencyAccumulator Acc;
+    for (const CompletedJob &Job : Run.Completed)
+      Acc.add(Job);
+    return Acc.finish(Run.Horizon, Machine);
+  }
+
+  LatencyMetrics M;
+  M.Jobs = Run.Completed.size();
+  M.JobsPerMegacycle = jobsPerMegacycle(M.Jobs, Run.Horizon, Machine);
 
   if (Run.Completed.empty())
     return M;

@@ -29,6 +29,7 @@
 #define PBT_METRICS_LATENCY_H
 
 #include "sim/MachineConfig.h"
+#include "support/Statistics.h"
 #include "workload/Runner.h"
 
 #include <cstddef>
@@ -53,9 +54,48 @@ struct LatencyMetrics {
 };
 
 /// Computes the metrics over \p Run's completions on \p Machine (whose
-/// core frequencies define the capacity normalization).
+/// core frequencies define the capacity normalization). The default
+/// Exact mode buffers and sorts (bit-reproducible, O(n) memory);
+/// Streaming replays the completions through a LatencyAccumulator —
+/// identical means/max, P²-sketched percentiles — and exists so
+/// buffered runs can be compared against streamed ones.
 LatencyMetrics computeLatency(const RunResult &Run,
-                              const MachineConfig &Machine);
+                              const MachineConfig &Machine,
+                              PercentileMode Mode = PercentileMode::Exact);
+
+/// Streaming latency accumulator: feed every completed job as it
+/// finishes (e.g. through runWorkload's OnCompleted sink) and read the
+/// metrics at the end. O(1) memory in job count — the turnaround and
+/// slowdown distributions are never materialized; percentiles come
+/// from deterministic P² sketches, means and maxima from running
+/// sums, so a long-horizon scenario run's metrics memory no longer
+/// grows with its completion count.
+class LatencyAccumulator {
+public:
+  /// Feeds one completed job (same conventions as computeLatency:
+  /// turnaround is Completion - Arrival; slowdown only for jobs with
+  /// an isolated-time oracle).
+  void add(const CompletedJob &Job);
+
+  /// Jobs fed so far.
+  size_t jobs() const { return Jobs; }
+
+  /// Metrics over everything fed, normalized to \p Horizon seconds of
+  /// \p Machine capacity (the same JobsPerMegacycle definition as
+  /// computeLatency).
+  LatencyMetrics finish(double Horizon, const MachineConfig &Machine) const;
+
+private:
+  size_t Jobs = 0;
+  double TurnSum = 0;
+  P2Quantile P50T{50};
+  P2Quantile P95T{95};
+  P2Quantile P99T{99};
+  size_t SlowJobs = 0;
+  double SlowSum = 0;
+  P2Quantile P95S{95};
+  double MaxSlow = 0;
+};
 
 } // namespace pbt
 

@@ -128,6 +128,12 @@ public:
   const double *cycleTable() const { return Cycles.data(); }
 
   /// Summed superblock cycle costs, indexed via FlatBlock::ChainRow.
+  /// Each sum is accumulated in the exact engines' left-to-right chain
+  /// order, so a fused charge equals bit for bit what the exact walk
+  /// would add starting from a zero partial sum; fast-replay drift is
+  /// therefore only the reassociation of whole-chain sums into the
+  /// quantum accumulator (see docs/ARCHITECTURE.md "Fast-replay
+  /// engine").
   const double *chainCycleTable() const { return ChainCycles.data(); }
 
   /// The instrumented program's mark array (indices in FlatBlock are

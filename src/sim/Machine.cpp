@@ -12,6 +12,18 @@
 
 using namespace pbt;
 
+const char *pbt::engineName(ExecEngine Engine) {
+  switch (Engine) {
+  case ExecEngine::Flat:
+    return "flat";
+  case ExecEngine::Reference:
+    return "reference";
+  case ExecEngine::FastReplay:
+    return "fast_replay";
+  }
+  return "unknown";
+}
+
 Machine::Machine(MachineConfig ConfigIn, SimConfig SimIn,
                  std::unique_ptr<SchedulerPolicy> PolicyIn)
     : Config(std::move(ConfigIn)), Sim(SimIn), Policy(std::move(PolicyIn)),
@@ -67,6 +79,7 @@ uint32_t Machine::spawn(std::shared_ptr<const InstrumentedProgram> IProg,
   P->ArrivalTime = Now;
   P->Slot = Slot;
   Procs.push_back(std::move(P));
+  Hot.push_back(HotProc{});
   SchedTelemetry T;
   T.InstsByType.resize(Config.numCoreTypes(), 0);
   T.CyclesByType.resize(Config.numCoreTypes(), 0.0);
@@ -164,7 +177,6 @@ void Machine::run(double Until) {
           Progress = true;
           uint32_t Pid = Queues[Core].front();
           Process &P = *Procs[Pid];
-          uint64_t InstsBefore = P.Stats.InstsRetired;
           AdvanceResult R =
               advanceProcess(P, Core, Budget - Used[Core], Sharers);
           Used[Core] += R.CyclesUsed;
@@ -176,7 +188,7 @@ void Machine::run(double Until) {
           // Pure bookkeeping — it never feeds back into the simulation
           // unless a policy acts on it.
           SchedTelemetry &T = Telem[Pid];
-          uint64_t WindowInsts = P.Stats.InstsRetired - InstsBefore;
+          uint64_t WindowInsts = R.InstsDelta;
           T.InstsByType[Ct] += WindowInsts;
           T.CyclesByType[Ct] += R.CyclesUsed;
           if (R.CyclesUsed > 0) {
@@ -216,9 +228,15 @@ void Machine::run(double Until) {
 Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,
                                                double BudgetCycles,
                                                uint32_t Sharers) {
-  return Sim.Engine == ExecEngine::Flat
-             ? advanceProcessFlat(P, Core, BudgetCycles, Sharers)
-             : advanceProcessReference(P, Core, BudgetCycles, Sharers);
+  if (Sim.Engine == ExecEngine::FastReplay)
+    return advanceProcessFastReplay(P, Core, BudgetCycles, Sharers);
+  uint64_t InstsBefore = P.Stats.InstsRetired;
+  AdvanceResult R =
+      Sim.Engine == ExecEngine::Flat
+          ? advanceProcessFlat(P, Core, BudgetCycles, Sharers)
+          : advanceProcessReference(P, Core, BudgetCycles, Sharers);
+  R.InstsDelta = P.Stats.InstsRetired - InstsBefore;
+  return R;
 }
 
 /// The flat-image interpreter. Mirrors advanceProcessReference exactly —
@@ -237,8 +255,10 @@ Machine::AdvanceResult Machine::advanceProcessFlat(Process &P, uint32_t Core,
   const FlatBlock *Blk = FI.blocks();
   const double *Cyc = FI.cycleTable();
   const PhaseMark *Marks = FI.marks();
-  uint32_t Ct = coreType(Core);
-  uint32_t CfgOff = FI.configOffset(Ct, Sharers);
+  // Per-quantum invariant, cached across quanta in the hot lane and
+  // recomputed only on migration or a sharer-count change. Pure
+  // function of (core type, sharers), so caching cannot change results.
+  uint32_t CfgOff = configOffsetCached(P, Core, Sharers);
   uint32_t Cur = P.CurGlobal;
 
   while (!P.Finished && R.CyclesUsed < BudgetCycles) {
@@ -363,6 +383,204 @@ Machine::AdvanceResult Machine::advanceProcessFlat(Process &P, uint32_t Core,
     }
   }
   P.CurGlobal = Cur;
+  return R;
+}
+
+/// The validated fast-replay engine. Same block sequence and RNG draws
+/// as the exact engines — the dynamic trace is identical — but three
+/// things make it faster, at the price of ulp-bounded cycle drift:
+///
+///  1. Superblock chains are ALWAYS charged through the precomputed
+///     left-to-right sums in chainCycleTable() (no opt-in flag, no
+///     per-member walk) whenever the whole chain fits in the remaining
+///     budget. Each sum equals bit for bit what the exact walk adds
+///     from a zero partial sum, so the only drift is reassociating a
+///     whole-chain sum into the non-zero quantum accumulator: a few
+///     ulps of the running total per fused charge.
+///  2. Hot-path state lives in registers for the whole call: cycle,
+///     instruction, and block accumulators plus the monitoring triple
+///     are locals, written back to the cold Process body once per
+///     quantum (and flushed/reloaded around fireMark, which reads and
+///     mutates the cold body).
+///  3. Per-quantum invariants (the config offset) are served from the
+///     hot lane's migration-aware cache, like the flat engine.
+///
+/// Monitoring sessions never fuse: MonCycles feeds truncated into
+/// integer tuner samples, where drift would become integer divergence
+/// in tuning decisions. Mark-free Jump cycles (ChainBlocks == 0) fall
+/// back to the exact tight loop, exactly like the flat engine.
+Machine::AdvanceResult
+Machine::advanceProcessFastReplay(Process &P, uint32_t Core,
+                                  double BudgetCycles, uint32_t Sharers) {
+  AdvanceResult R;
+  const FlatImage &FI = *P.Flat;
+  const FlatBlock *Blk = FI.blocks();
+  const double *Cyc = FI.cycleTable();
+  const double *ChainCyc = FI.chainCycleTable();
+  const PhaseMark *Marks = FI.marks();
+  uint32_t *LoopRem = P.LoopRemaining.data();
+  Rng &Gen = P.Gen;
+  const uint32_t CfgOff = configOffsetCached(P, Core, Sharers);
+  const uint64_t EntryInsts = P.Stats.InstsRetired;
+
+  // Register-resident hot state; flushed once at exit (and around
+  // fireMark, whose monitoring bookkeeping reads the cold body).
+  uint32_t Cur = P.CurGlobal;
+  double Used = 0;
+  uint64_t Insts = 0;
+  uint64_t Blocks = 0;
+  bool MonActive = P.MonActive;
+  uint64_t MonInsts = P.MonInsts;
+  double MonCycles = P.MonCycles;
+
+  auto Flush = [&] {
+    P.CurGlobal = Cur;
+    P.Stats.InstsRetired += Insts;
+    P.Stats.BlocksExecuted += Blocks;
+    Insts = 0;
+    Blocks = 0;
+    P.MonActive = MonActive;
+    P.MonInsts = MonInsts;
+    P.MonCycles = MonCycles;
+  };
+  // fireMark reads/writes the cold body (stats, monitoring, tuner,
+  // affinity), so the hot state round-trips through the Process here.
+  auto Fire = [&](const PhaseMark &Mark) {
+    Flush();
+    bool Migrate = fireMark(P, Mark, Core, Used);
+    MonActive = P.MonActive;
+    MonInsts = P.MonInsts;
+    MonCycles = P.MonCycles;
+    return Migrate;
+  };
+
+  while (Used < BudgetCycles) {
+    const FlatBlock *B = &Blk[Cur];
+
+    if (B->Op == FlatOp::Chain) {
+      if (!MonActive && B->ChainBlocks > 0) {
+        double Sum = ChainCyc[B->ChainRow + CfgOff];
+        if (Used + Sum < BudgetCycles) {
+          // O(1) superblock: the whole mark-free chain fits in the
+          // remaining budget; charge the fused left-to-right sum.
+          Used += Sum;
+          Insts += B->ChainInsts;
+          Blocks += B->ChainBlocks;
+          Cur = B->ChainExit;
+          continue;
+        }
+      }
+      // Exact tight loop: budget-straddling chains, mark-free cycles
+      // (ChainBlocks == 0), and monitored sections.
+      if (MonActive) {
+        do {
+          double Cycles = Cyc[B->CycleRow + CfgOff];
+          Used += Cycles;
+          Insts += B->Insts;
+          ++Blocks;
+          MonInsts += B->Insts;
+          MonCycles += Cycles;
+          Cur = B->Succ[0];
+          B = &Blk[Cur];
+        } while (B->Op == FlatOp::Chain && Used < BudgetCycles);
+      } else {
+        do {
+          Used += Cyc[B->CycleRow + CfgOff];
+          Insts += B->Insts;
+          ++Blocks;
+          Cur = B->Succ[0];
+          B = &Blk[Cur];
+        } while (B->Op == FlatOp::Chain && Used < BudgetCycles);
+      }
+      continue;
+    }
+
+    double Cycles = Cyc[B->CycleRow + CfgOff];
+    uint32_t BI = B->Insts;
+    Used += Cycles;
+    Insts += BI;
+    ++Blocks;
+    if (MonActive) {
+      MonInsts += BI;
+      MonCycles += Cycles;
+    }
+
+    const PhaseMark *TakenMark = nullptr;
+    switch (B->Op) {
+    case FlatOp::Jump: // Always carries a mark (else it would be Chain).
+      TakenMark = Marks + B->EdgeMark[0];
+      Cur = B->Succ[0];
+      break;
+    case FlatOp::Call: {
+      P.CallStack.push_back(CallFrame{0, 0, B->EdgeMark[0], B->Succ[0]});
+      int32_t CallMark = B->CallMark;
+      Cur = B->Callee;
+      if (CallMark >= 0 && Fire(Marks[CallMark])) {
+        R.Migrated = true;
+        Flush();
+        R.CyclesUsed = Used;
+        R.InstsDelta = P.Stats.InstsRetired - EntryInsts;
+        return R;
+      }
+      continue;
+    }
+    case FlatOp::Loop: {
+      uint32_t &Rem = LoopRem[Cur];
+      if (Rem == 0)
+        Rem = B->TripCount; // First latch execution of this activation.
+      uint32_t Index;
+      if (Rem > 1) {
+        --Rem;
+        Index = 0;
+      } else {
+        Rem = 0;
+        Index = 1;
+      }
+      int32_t Mark = B->EdgeMark[Index];
+      if (Mark >= 0)
+        TakenMark = Marks + Mark;
+      Cur = B->Succ[Index];
+      break;
+    }
+    case FlatOp::Cond: {
+      uint32_t Index = Gen.nextBool(B->TakenProb) ? 0 : 1;
+      int32_t Mark = B->EdgeMark[Index];
+      if (Mark >= 0)
+        TakenMark = Marks + Mark;
+      Cur = B->Succ[Index];
+      break;
+    }
+    case FlatOp::Ret: {
+      if (P.CallStack.empty()) {
+        P.Finished = true;
+        R.Finished = true;
+        Flush();
+        R.CyclesUsed = Used;
+        R.InstsDelta = P.Stats.InstsRetired - EntryInsts;
+        return R;
+      }
+      CallFrame Frame = P.CallStack.back();
+      P.CallStack.pop_back();
+      Cur = Frame.ContGlobal;
+      if (Frame.ContMarkIndex >= 0)
+        TakenMark = Marks + Frame.ContMarkIndex;
+      break;
+    }
+    case FlatOp::Chain: // Handled above.
+      break;
+    }
+
+    if (TakenMark && Fire(*TakenMark)) {
+      R.Migrated = true;
+      Flush();
+      R.CyclesUsed = Used;
+      R.InstsDelta = P.Stats.InstsRetired - EntryInsts;
+      return R;
+    }
+  }
+  Flush();
+  R.CyclesUsed = Used;
+  R.InstsDelta = P.Stats.InstsRetired - EntryInsts;
   return R;
 }
 

@@ -46,7 +46,23 @@ enum class ExecEngine : uint8_t {
   /// Block-at-a-time interpreter over the IR + CostModel + mark lookup,
   /// retained as the differential-testing oracle.
   Reference,
+  /// Validated fast-replay engine: the flat image with superblock
+  /// chains always charged through their precomputed left-to-right
+  /// cycle sums, register-local hot-path accumulators, and per-quantum
+  /// invariants cached across quanta (recomputed only on migration).
+  /// Integer statistics (instructions, blocks, marks, switches) and
+  /// completion order are exactly identical to the exact engines on
+  /// the differential corpus; cycle totals and completion times drift
+  /// by the reassociation of whole-chain sums into the quantum
+  /// accumulator — bounded, and characterized by workload/Drift.h.
+  /// Paper figures stay on the exact engines; sweeps declare FastReplay
+  /// per cell (exp::SweepGrid::Engine).
+  FastReplay,
 };
+
+/// Stable display name of \p Engine ("flat", "reference",
+/// "fast_replay") — used by artifact cell labels.
+const char *engineName(ExecEngine Engine);
 
 /// Simulation knobs independent of the machine's hardware shape.
 struct SimConfig {
@@ -65,16 +81,20 @@ struct SimConfig {
   uint32_t CounterWaitCycles = 500;
   /// Master seed for process RNG derivation.
   uint64_t Seed = 0x5EED;
-  /// Execution engine; both produce bit-identical results.
+  /// Execution engine. Flat and Reference produce bit-identical
+  /// results; FastReplay trades ulp-bounded cycle drift for an integer
+  /// multiple of blocks/sec (see ExecEngine).
   ExecEngine Engine = ExecEngine::Flat;
-  /// Opt-in O(1) superblock accounting: when a whole mark-free chain
-  /// fits in the remaining quantum budget, charge its precomputed cycle
-  /// sum in one step instead of walking the members. Changes the
-  /// floating-point accumulation order (ulp-level drift in cycle totals
-  /// and completion times), so replays are no longer bit-identical to
-  /// the reference engine; integer stats (instructions, blocks, marks)
-  /// are unaffected. Meant for huge sweeps where that drift is
-  /// acceptable; keep off for differential comparisons.
+  /// Opt-in O(1) superblock accounting for the Flat engine: when a
+  /// whole mark-free chain fits in the remaining quantum budget, charge
+  /// its precomputed cycle sum in one step instead of walking the
+  /// members. Changes the floating-point accumulation order (ulp-level
+  /// drift in cycle totals and completion times), so replays are no
+  /// longer bit-identical to the reference engine; integer stats
+  /// (instructions, blocks, marks) are unaffected. Superseded by
+  /// Engine = FastReplay, which fuses unconditionally and adds the
+  /// hot-path state split; the flag is kept so the Flat engine's fused
+  /// mode stays independently testable.
   bool FusedChains = false;
 };
 
@@ -167,9 +187,43 @@ public:
 private:
   struct AdvanceResult {
     double CyclesUsed = 0;
+    /// Instructions retired by this advance call (scheduler telemetry;
+    /// filled by every engine so run() never re-reads cold stats).
+    uint64_t InstsDelta = 0;
     bool Finished = false;
     bool Migrated = false;
   };
+
+  /// Hot lane of one process: the fields the execution engines touch
+  /// every quantum, split out of the cold Process body into one dense
+  /// per-pid array (the SoA hot/cold split — Process keeps identity,
+  /// call stack, tuner, lifecycle; the lane keeps the per-quantum
+  /// invariant cache). CfgOff is the block-cost config offset for
+  /// (LastCore, LastSharers): loop-invariant within a quantum and
+  /// across consecutive quanta on the same core with the same sharer
+  /// count, so engines recompute it only when either changes
+  /// (migration, or an L2 neighbour going idle/busy). configOffset is
+  /// a pure function of (core type, sharers), so the cache can never
+  /// change results — tests/fastreplay_test.cpp locks this in against
+  /// the per-block recomputing reference engine.
+  struct HotProc {
+    uint32_t LastCore = ~0u;
+    uint32_t LastSharers = 0;
+    uint32_t CfgOff = 0;
+  };
+
+  /// CfgOff for \p P on (\p Core, \p Sharers), served from the hot
+  /// lane's per-quantum invariant cache.
+  uint32_t configOffsetCached(const Process &P, uint32_t Core,
+                              uint32_t Sharers) {
+    HotProc &H = Hot[P.Pid];
+    if (Core != H.LastCore || Sharers != H.LastSharers) {
+      H.CfgOff = P.Flat->configOffset(coreType(Core), Sharers);
+      H.LastCore = Core;
+      H.LastSharers = Sharers;
+    }
+    return H.CfgOff;
+  }
 
   /// Runs \p P on \p Core for at most \p BudgetCycles (dispatches on
   /// SimConfig::Engine).
@@ -184,6 +238,11 @@ private:
   AdvanceResult advanceProcessReference(Process &P, uint32_t Core,
                                         double BudgetCycles,
                                         uint32_t Sharers);
+
+  /// Validated fast-replay engine (see ExecEngine::FastReplay).
+  AdvanceResult advanceProcessFastReplay(Process &P, uint32_t Core,
+                                         double BudgetCycles,
+                                         uint32_t Sharers);
 
   /// Executes one phase mark; returns true when the process must migrate
   /// off its current core. Adds overhead cycles to \p Cycles.
@@ -216,6 +275,8 @@ private:
   double NextBalance = 0;
   std::vector<std::deque<uint32_t>> Queues;
   std::vector<std::unique_ptr<Process>> Procs;
+  /// Per-process hot lanes, indexed like Procs (see HotProc).
+  std::vector<HotProc> Hot;
   /// Per-process scheduler telemetry, indexed like Procs.
   std::vector<SchedTelemetry> Telem;
   std::vector<double> BusyCycles;

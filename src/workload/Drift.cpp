@@ -1,0 +1,65 @@
+//===- workload/Drift.cpp - Fast-replay drift characterization ------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Drift.h"
+
+#include <cmath>
+
+using namespace pbt;
+
+namespace {
+
+/// Relative |b - a| with a zero-safe denominator.
+double relDrift(double A, double B) {
+  if (A == B)
+    return 0;
+  double Denom = std::fabs(A);
+  if (Denom == 0)
+    Denom = std::fabs(B);
+  return std::fabs(B - A) / Denom;
+}
+
+} // namespace
+
+void DriftReport::merge(const RunResult &Exact, const RunResult &Fast) {
+  ++Runs;
+  if (Exact.Completed.size() != Fast.Completed.size()) {
+    // Divergent completion counts: one engine finished jobs the other
+    // did not within the horizon. Both identities are broken.
+    IntegerStatsIdentical = false;
+    CompletionOrderIdentical = false;
+  }
+
+  size_t Pairs = std::min(Exact.Completed.size(), Fast.Completed.size());
+  for (size_t I = 0; I < Pairs; ++I) {
+    const CompletedJob &E = Exact.Completed[I];
+    const CompletedJob &F = Fast.Completed[I];
+    ++Jobs;
+    if (E.Bench != F.Bench || E.Slot != F.Slot || E.Arrival != F.Arrival)
+      CompletionOrderIdentical = false;
+    if (E.Stats.InstsRetired != F.Stats.InstsRetired ||
+        E.Stats.BlocksExecuted != F.Stats.BlocksExecuted ||
+        E.Stats.MarksFired != F.Stats.MarksFired ||
+        E.Stats.CoreSwitches != F.Stats.CoreSwitches ||
+        E.Stats.MonitorSessions != F.Stats.MonitorSessions ||
+        E.Stats.CounterWaits != F.Stats.CounterWaits)
+      IntegerStatsIdentical = false;
+    double CycleDrift = relDrift(E.Stats.CyclesConsumed,
+                                 F.Stats.CyclesConsumed);
+    if (CycleDrift > MaxRelCycleDrift)
+      MaxRelCycleDrift = CycleDrift;
+    double CompletionDrift = relDrift(E.Completion - E.Arrival,
+                                      F.Completion - F.Arrival);
+    if (CompletionDrift > MaxRelCompletionDrift)
+      MaxRelCompletionDrift = CompletionDrift;
+  }
+
+  if (Exact.InstructionsRetired != Fast.InstructionsRetired)
+    IntegerStatsIdentical = false;
+  double TotalDrift = relDrift(Exact.TotalCycles, Fast.TotalCycles);
+  if (TotalDrift > MaxRelTotalCycleDrift)
+    MaxRelTotalCycleDrift = TotalDrift;
+}

@@ -1,0 +1,79 @@
+//===- workload/Drift.h - Fast-replay drift characterization ---*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast-replay engine's validation checker: a DriftReport compares
+/// an exact-engine run against its fast-replay twin job by job and
+/// accumulates exactly what the promotion contract promises —
+///
+///   - integer statistics (instructions, blocks, marks, switches,
+///     monitor sessions, counter waits) and completion ORDER must be
+///     identical, bit for bit;
+///   - cycle totals and completion TIMES may drift, but only within
+///     the documented reassociation bound (relative drift of a few
+///     ulps per fused chain charge; see docs/ARCHITECTURE.md
+///     "Fast-replay engine").
+///
+/// The model is the oracle-validated promotion pattern of the related
+/// static-analysis repos: a fast path is promotable only once a
+/// checker proves it equivalent-within-bound to the exact one over the
+/// corpus. bench/micro_interpreter emits a report into its artifact;
+/// tests/fastreplay_test.cpp asserts the bound over randomized
+/// programs x machines x seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_WORKLOAD_DRIFT_H
+#define PBT_WORKLOAD_DRIFT_H
+
+#include "workload/Runner.h"
+
+#include <cstddef>
+
+namespace pbt {
+
+/// Accumulated comparison of exact-engine runs vs their fast-replay
+/// twins. Zero-initialized state means "no divergence observed".
+struct DriftReport {
+  /// Run pairs merged so far.
+  size_t Runs = 0;
+  /// Completed-job pairs compared so far.
+  size_t Jobs = 0;
+  /// Every integer statistic of every compared job pair was identical
+  /// (and both runs completed the same number of jobs).
+  bool IntegerStatsIdentical = true;
+  /// Both runs completed the same (bench, slot, arrival) sequence in
+  /// the same canonical order.
+  bool CompletionOrderIdentical = true;
+  /// Largest relative |fast - exact| / exact over per-job
+  /// CyclesConsumed (0 when every pair matched bit for bit).
+  double MaxRelCycleDrift = 0;
+  /// Largest relative drift over per-job completion times (measured on
+  /// turnaround, Completion - Arrival, so batch spawn offsets cancel).
+  double MaxRelCompletionDrift = 0;
+  /// Largest relative drift over the runs' aggregate TotalCycles.
+  double MaxRelTotalCycleDrift = 0;
+
+  /// Folds one (exact, fast) run pair into the report. Runs must come
+  /// from identical workload replays (same suite, workload, machine,
+  /// seeds) differing only in SimConfig::Engine; both must have
+  /// buffered completions (no sink).
+  void merge(const RunResult &Exact, const RunResult &Fast);
+
+  /// True when the report upholds the promotion contract: identical
+  /// integer stats and completion order, and every relative drift
+  /// within \p MaxRelDrift.
+  bool withinBound(double MaxRelDrift) const {
+    return IntegerStatsIdentical && CompletionOrderIdentical &&
+           MaxRelCycleDrift <= MaxRelDrift &&
+           MaxRelCompletionDrift <= MaxRelDrift &&
+           MaxRelTotalCycleDrift <= MaxRelDrift;
+  }
+};
+
+} // namespace pbt
+
+#endif // PBT_WORKLOAD_DRIFT_H

@@ -162,7 +162,8 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
                            const SimConfig &Sim, double Horizon,
                            const std::vector<double> &Isolated,
                            const SchedulerSpec &Sched,
-                           const ScenarioSpec &Scenario) {
+                           const ScenarioSpec &Scenario,
+                           const CompletionSink &OnCompleted) {
   RunResult Result;
   Result.Horizon = Horizon;
 
@@ -196,7 +197,12 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
     if (Job.Bench < Isolated.size())
       Job.Isolated = Isolated[Job.Bench];
     Job.Stats = P.Stats;
-    Result.Completed.push_back(Job);
+    // Sink-fed runs never buffer: the job goes straight to the caller
+    // (machine exit order) and memory stays O(1) in completion count.
+    if (OnCompleted)
+      OnCompleted(Job);
+    else
+      Result.Completed.push_back(Job);
     ++Done;
   };
 
@@ -278,6 +284,7 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
     Result.Horizon = M.now();
   }
 
+  Result.CompletedCount = Done;
   Result.InstructionsRetired = M.totalInstructions();
   for (uint32_t Core = 0; Core < MachineCfg.numCores(); ++Core)
     Result.CoreBusy.push_back(M.coreBusyFraction(Core));

@@ -24,6 +24,7 @@
 #include "support/ThreadPool.h"
 #include "workload/Workload.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -161,7 +162,14 @@ struct RunResult {
   double Horizon = 0;
   /// Instructions retired machine-wide within the horizon (throughput).
   uint64_t InstructionsRetired = 0;
+  /// Completed jobs in canonical order. Stays EMPTY when the run was
+  /// given a completion sink (see runWorkload's OnCompleted): jobs are
+  /// delivered to the sink instead of buffered, which is what keeps a
+  /// long-horizon run's memory O(1) in job count.
   std::vector<CompletedJob> Completed;
+  /// Jobs completed within the horizon — Completed.size() for buffered
+  /// runs, and still meaningful for sink-fed runs.
+  size_t CompletedCount = 0;
   /// Aggregates over all processes (finished or not).
   uint64_t TotalSwitches = 0;
   uint64_t TotalMarks = 0;
@@ -184,12 +192,24 @@ struct RunResult {
 /// canonically ordered (completion time, then slot/arrival/bench as
 /// tie-breaks) so downstream tables are stable however the run was
 /// scheduled.
+///
+/// \p OnCompleted, when set, receives each completed job the moment it
+/// finishes (deterministic machine exit order — NOT the canonical
+/// sorted order) and RunResult::Completed stays empty: run memory is
+/// O(1) in job count. Feed the jobs into streaming metric accumulators
+/// (LatencyAccumulator / FairnessAccumulator, declared in metrics/ —
+/// the sink is a plain callback precisely so this layer never depends
+/// on the metrics layer above it). Buffered and sink-fed replays of
+/// the same job are bit-identical simulations; only where the
+/// CompletedJob goes differs.
+using CompletionSink = std::function<void(const CompletedJob &)>;
 RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
                       const MachineConfig &MachineCfg, const SimConfig &Sim,
                       double Horizon,
                       const std::vector<double> &Isolated = {},
                       const SchedulerSpec &Sched = SchedulerSpec(),
-                      const ScenarioSpec &Scenario = ScenarioSpec());
+                      const ScenarioSpec &Scenario = ScenarioSpec(),
+                      const CompletionSink &OnCompleted = nullptr);
 
 /// One workload replay request for the parallel runner. Pointees must
 /// outlive the runWorkloads call.

@@ -368,7 +368,7 @@ TEST(HarnessTest, SchedulerLabelsRecordedPreparationsExcludeAxis) {
   G.Workloads = {{4, 10, 5, 64}};
   H.sweep(H.lab(MachineConfig::quadAsymmetric()), G);
   std::string Artifact = H.json().dump(0);
-  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v4\""), std::string::npos);
+  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v5\""), std::string::npos);
   EXPECT_NE(Artifact.find("\"scheduler\":\"oblivious\""),
             std::string::npos);
   EXPECT_NE(Artifact.find("\"scheduler\":\"fastest-first\""),
@@ -378,6 +378,11 @@ TEST(HarnessTest, SchedulerLabelsRecordedPreparationsExcludeAxis) {
   EXPECT_NE(Artifact.find("\"scenario\":\"batch\""), std::string::npos);
   EXPECT_NE(Artifact.find("\"latency\":{\"jobs\":"), std::string::npos);
   EXPECT_NE(Artifact.find("\"p95_flow\":"), std::string::npos);
+  // v5 additions: the sweep records which engine replayed it and every
+  // metrics block carries an explicit percentile mode.
+  EXPECT_NE(Artifact.find("\"engine\":\"flat\""), std::string::npos);
+  EXPECT_NE(Artifact.find("\"percentile_mode\":\"exact\""),
+            std::string::npos);
   // One technique preparation + the baseline: the two schedulers add
   // nothing.
   EXPECT_NE(Artifact.find("\"distinct_preparations\":2"),
