@@ -21,7 +21,8 @@ const std::vector<Experiment> &pbt::bench::experiments() {
   return registry();
 }
 
-bool pbt::bench::registerExperiment(const char *Name, ExperimentFn Fn) {
-  registry().push_back({Name, Fn});
+bool pbt::bench::registerExperiment(const char *Name, ExperimentFn Fn,
+                                    pbt::exp::ShardGranularity Granularity) {
+  registry().push_back({Name, Fn, Granularity});
   return true;
 }

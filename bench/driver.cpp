@@ -19,6 +19,24 @@
 //   driver [--list] [--only=name1,name2] [--clean-cache]
 //          [--gc-cache] [--max-cache-bytes=N] [--max-cache-age-days=D]
 //          [--timeout-seconds=D] [--max-attempts=N]
+//          [--shard=k/n] [--merge=dir]
+//
+// --shard=k/n (or PBT_SHARD=k/n; the flag wins) runs this process as
+// shard k of an n-shard fabric: whole experiments are round-robined
+// over the sorted registry (non-owned ones report status
+// "other-shard"), sweep experiments replay only their owned cells, and
+// the run emits BENCH_*.shard-k-of-n.json partials, cells payloads,
+// and a shard-k-of-n.manifest.pbs inventory instead of the final
+// artifacts (exp/Shard.h).
+//
+// --merge=dir recombines the shard partials found in dir into the
+// working directory: after validating every manifest and checksum it
+// byte-copies whole artifacts and re-runs sweep bodies over the
+// recombined bit-exact units, producing BENCH_*.json files
+// byte-identical to a single-process run, plus BENCH_merge.json with
+// the shards' merged metric sketches. Any inconsistency (missing or
+// duplicate shard, mixed n, corrupt partial, ...) is a distinct
+// diagnostic and a nonzero exit.
 //
 // --clean-cache deletes PBT_CACHE_DIR entries written by other format
 // versions (they can never load again) and exits.
@@ -45,7 +63,7 @@
 // PBT_EXP_TIMEOUT_SECONDS / PBT_EXP_MAX_ATTEMPTS default the two
 // guard flags, PBT_FAULTS arms fault injection (support/FaultInjection).
 //
-// Writes BENCH_driver.json (schema pbt-driver-v2, docs/BENCH_SCHEMA.md)
+// Writes BENCH_driver.json (schema pbt-driver-v3, docs/BENCH_SCHEMA.md)
 // with per-experiment status/attempts/duration, a failure summary, and
 // suite-cache statistics; exits non-zero when any experiment failed.
 // Per-experiment BENCH_*.json files are unaffected by the guard and
@@ -58,6 +76,7 @@
 #include "exp/CacheStore.h"
 #include "exp/Guard.h"
 #include "exp/Harness.h"
+#include "exp/Shard.h"
 #include "support/Env.h"
 #include "support/FaultInjection.h"
 #include "support/Json.h"
@@ -66,6 +85,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -111,6 +131,9 @@ int main(int Argc, char **Argv) {
   // the defaults (no timeout, single attempt).
   double TimeoutSeconds = envDouble("PBT_EXP_TIMEOUT_SECONDS", 0);
   int64_t MaxAttempts = envInt("PBT_EXP_MAX_ATTEMPTS", 1);
+  bool SawShardFlag = false;
+  exp::ShardSpec Shard; // 1/1 unless --shard or PBT_SHARD says otherwise.
+  std::string MergeDir;
   std::vector<std::string> Only;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -160,14 +183,52 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       Only = splitList(Arg + 7);
+    } else if (std::strncmp(Arg, "--shard=", 8) == 0) {
+      std::string Error;
+      if (!exp::ShardSpec::parse(Arg + 8, Shard, Error)) {
+        std::fprintf(stderr, "driver: %s\n", Error.c_str());
+        return 2;
+      }
+      SawShardFlag = true;
+    } else if (std::strncmp(Arg, "--merge=", 8) == 0) {
+      MergeDir = Arg + 8;
+      if (MergeDir.empty()) {
+        std::fprintf(stderr, "driver: --merge wants a shard directory\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: driver [--list] [--only=name1,name2] "
                    "[--clean-cache] [--gc-cache] [--max-cache-bytes=N] "
                    "[--max-cache-age-days=D] [--timeout-seconds=D] "
-                   "[--max-attempts=N]\n");
+                   "[--max-attempts=N] [--shard=k/n] [--merge=dir]\n");
       return 2;
     }
+  }
+  // The flag wins over the environment; the environment only applies
+  // when no flag was given (so wrapper scripts can export PBT_SHARD and
+  // still be overridden per invocation).
+  if (!SawShardFlag) {
+    if (const char *Env = envString("PBT_SHARD")) {
+      std::string Error;
+      if (!exp::ShardSpec::parse(Env, Shard, Error)) {
+        std::fprintf(stderr, "driver: PBT_SHARD: %s\n", Error.c_str());
+        return 2;
+      }
+      SawShardFlag = true;
+    }
+  }
+  bool ShardMode = SawShardFlag;
+  if (ShardMode && !MergeDir.empty()) {
+    std::fprintf(stderr,
+                 "driver: --shard and --merge are mutually exclusive\n");
+    return 2;
+  }
+  if (!MergeDir.empty() && !Only.empty()) {
+    std::fprintf(stderr, "driver: --merge recombines whatever the shard "
+                         "manifests list; it cannot be combined with "
+                         "--only\n");
+    return 2;
   }
   if (MaxAttempts < 1)
     MaxAttempts = 1; // A nonsense PBT_EXP_MAX_ATTEMPTS degrades sanely.
@@ -245,6 +306,45 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (!MergeDir.empty()) {
+    // Merge mode: recombine shard partials into final artifacts. Sweep
+    // replays resolve through a shared lab pool like a normal run (the
+    // labs only serve machine configs and isolated-runtime oracles —
+    // no simulation happens; every replay is fed from the recombined
+    // units).
+    std::map<std::string, exp::MergeExperimentInfo> Infos;
+    for (const Experiment &E : Sorted) {
+      exp::MergeExperimentInfo Info;
+      Info.G = E.Granularity;
+      Info.Run = E.Fn;
+      Infos[E.Name] = std::move(Info);
+    }
+    exp::LabPool Pool;
+    exp::ExperimentHarness::setSharedLabPool(&Pool);
+    std::printf("== experiment driver: merging shards from %s ==\n",
+                MergeDir.c_str());
+    exp::MergeReport Report;
+    std::string Err = exp::mergeShards(
+        MergeDir, ".",
+        [&](const std::string &Name) -> const exp::MergeExperimentInfo * {
+          auto It = Infos.find(Name);
+          return It == Infos.end() ? nullptr : &It->second;
+        },
+        &Report);
+    exp::ExperimentHarness::setSharedLabPool(nullptr);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "driver: merge failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("\n== merge summary: %u shards, %zu artifacts copied, "
+                "%zu sweep experiments replayed from %llu units ==\n"
+                "wrote BENCH_merge.json\n",
+                Report.ShardCount, Report.Copied.size(),
+                Report.Replayed.size(),
+                static_cast<unsigned long long>(Report.Units));
+    return 0;
+  }
+
   // One pool of per-machine labs for the whole run: every harness
   // constructed by the experiment bodies resolves lab() through it, so
   // isolated runtimes are measured once per machine and the suite
@@ -253,8 +353,31 @@ int main(int Argc, char **Argv) {
   exp::ExperimentHarness::setSharedLabPool(&Pool);
   std::shared_ptr<exp::CacheStore> Store = exp::CacheStore::fromEnv();
 
-  std::printf("== experiment driver: %zu experiments, one process ==\n",
-              Only.empty() ? Sorted.size() : Only.size());
+  // Shard mode: install the process-global runtime the harness routes
+  // through, hash the run set (the merge refuses to combine shards
+  // launched over different sets), and assign whole experiments.
+  exp::ShardRuntime RT(exp::ShardRuntime::Mode::Shard, Shard, ".");
+  std::map<std::string, uint32_t> WholeOwner;
+  if (ShardMode) {
+    std::vector<exp::RunSetEntry> RunSet;
+    std::vector<std::string> WholeNames;
+    for (const Experiment &E : Sorted) {
+      if (!Only.empty() &&
+          std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+        continue;
+      RunSet.emplace_back(E.Name, E.Granularity);
+      if (E.Granularity == exp::ShardGranularity::Whole)
+        WholeNames.push_back(E.Name);
+    }
+    RT.setRunSetHash(exp::hashRunSet(RunSet));
+    WholeOwner = exp::assignWholeShards(WholeNames, Shard.Count);
+    exp::ShardRuntime::install(&RT);
+  }
+
+  std::printf("== experiment driver: %zu experiments, one process%s%s ==\n",
+              Only.empty() ? Sorted.size() : Only.size(),
+              ShardMode ? ", shard " : "",
+              ShardMode ? Shard.label().c_str() : "");
   if (Store)
     std::printf("persistent suite cache: %s\n", Store->dir().c_str());
 
@@ -292,11 +415,32 @@ int main(int Argc, char **Argv) {
       Runs.push(std::move(Run));
       continue;
     }
+    if (ShardMode && E.Granularity == exp::ShardGranularity::Whole &&
+        WholeOwner[E.Name] != Shard.Index) {
+      // Another shard owns this whole experiment; recording it as
+      // "other-shard" (not failed, not skipped) keeps the summary an
+      // honest inventory of the fabric's division of labor.
+      Run["status"] = "other-shard";
+      Run["exit_code"] = 0;
+      Run["attempts"] = static_cast<uint64_t>(0);
+      Run["duration_seconds"] = 0.0;
+      Run["owner_shard"] = WholeOwner[E.Name];
+      Runs.push(std::move(Run));
+      continue;
+    }
     std::printf("\n---- %s ----\n", E.Name);
+    if (ShardMode)
+      RT.beginExperiment(E.Name, E.Granularity);
     // The guard is the driver's fault boundary: a throwing or failing
     // experiment becomes a recorded failure, and the batch moves on to
     // the next experiment.
     exp::GuardedResult R = exp::runGuarded(E.Fn, Guard);
+    // After a timeout the abandoned runner may still be inside harness
+    // calls that touch the runtime; leave its bracket alone (the
+    // manifest is skipped below, so the incomplete shard can never be
+    // merged).
+    if (ShardMode && R.St != exp::GuardedResult::Status::Timeout)
+      RT.endExperiment(R.ok() ? 0 : (R.ExitCode != 0 ? R.ExitCode : 1));
     if (R.St == exp::GuardedResult::Status::Timeout)
       AbandonedRunner = true;
     if (!R.ok()) {
@@ -318,9 +462,21 @@ int main(int Argc, char **Argv) {
   // With an abandoned runner possibly still live, neither the shared
   // pool pointer (the runner reads it on every harness lab() call) nor
   // the lab/store counters (the runner increments them) may be touched;
-  // the pool stays installed until the _Exit below.
-  if (!AbandonedRunner)
+  // the pool (and the shard runtime, which the runner consults the same
+  // way) stays installed until the _Exit below.
+  if (!AbandonedRunner) {
     exp::ExperimentHarness::setSharedLabPool(nullptr);
+    if (ShardMode)
+      exp::ShardRuntime::install(nullptr);
+  }
+
+  // The manifest is the shard's sign-off: it is only written after a
+  // clean pass over the whole run set, so a crashed or timed-out shard
+  // leaves no manifest and the merge reports it as missing instead of
+  // silently combining incomplete partials.
+  bool ManifestOk = true;
+  if (ShardMode && !AbandonedRunner)
+    ManifestOk = RT.writeManifest();
 
   // Aggregate suite-cache statistics over the shared labs. store_hits
   // counts preparations served from PBT_CACHE_DIR: a warm second run
@@ -336,7 +492,18 @@ int main(int Argc, char **Argv) {
     }
 
   Json Root = Json::object();
-  Root["schema"] = "pbt-driver-v2";
+  // v3: optional "shard" block (sharded-fabric runs) and the
+  // "other-shard" per-experiment status; v2 added suite_cache store
+  // counters — see docs/BENCH_SCHEMA.md.
+  Root["schema"] = "pbt-driver-v3";
+  if (ShardMode) {
+    Json ShardBlock = Json::object();
+    ShardBlock["index"] = Shard.Index;
+    ShardBlock["count"] = Shard.Count;
+    ShardBlock["label"] = Shard.label();
+    ShardBlock["manifest"] = "shard-" + Shard.label() + ".manifest.pbs";
+    Root["shard"] = std::move(ShardBlock);
+  }
   Root["scale"] = envScale();
   Root["cache_dir"] = Store ? Json(Store->dir()) : Json();
   Root["timeout_seconds"] = TimeoutSeconds;
@@ -376,12 +543,17 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(MemoryHits),
                 static_cast<unsigned long long>(StoreHits),
                 static_cast<unsigned long long>(PreparedCount), Failed);
-  int Exit = Failed == 0 ? 0 : 1;
-  if (!writeJsonFile("BENCH_driver.json", Root)) {
-    std::perror("BENCH_driver.json");
+  int Exit = Failed == 0 && ManifestOk ? 0 : 1;
+  // The summary is shard-suffixed in shard mode so n shards can share
+  // one output directory without clobbering each other.
+  std::string SummaryPath =
+      ShardMode ? "BENCH_driver.shard-" + Shard.label() + ".json"
+                : "BENCH_driver.json";
+  if (!writeJsonFile(SummaryPath, Root)) {
+    std::perror(SummaryPath.c_str());
     Exit = 1;
   } else {
-    std::printf("wrote BENCH_driver.json\n");
+    std::printf("wrote %s\n", SummaryPath.c_str());
   }
   if (AbandonedRunner) {
     // A timed-out experiment's runner thread may still be executing its

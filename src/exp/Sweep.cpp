@@ -6,6 +6,9 @@
 
 #include "exp/Sweep.h"
 
+#include <map>
+#include <stdexcept>
+
 using namespace pbt;
 using namespace pbt::exp;
 
@@ -37,8 +40,133 @@ const std::vector<ScenarioSpec> &SweepGrid::effectiveScenarios() const {
   return Scenarios.empty() ? DefaultScenarios : Scenarios;
 }
 
-SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
+namespace {
+
+/// The one walker behind runSweep, runSweepSharded, runSweepFromUnits,
+/// and enumerateSweepUnits: the batch layout (baseline replays first,
+/// then all cells in technique-major nest order, with baseline-
+/// coincident cells reusing the baseline job) and the per-job unit ids
+/// come from here and nowhere else, so shard ownership, sharded
+/// execution, and merge-side reconstruction can never disagree about
+/// which job is which.
+struct SweepJobPlan {
+  struct Coord {
+    bool IsBaseline = false;
+    size_t T = 0, W = 0, S = 0, C = 0, N = 0;
+  };
+  std::vector<Coord> Jobs;      ///< Per job, in batch order.
+  std::vector<std::string> Ids; ///< Per job, its unit id.
+  std::vector<size_t> CellJob;  ///< Per cell (nest order): job index.
+  size_t BaselineJobs = 0;
+};
+
+SweepJobPlan planSweepJobs(const SweepGrid &Grid) {
+  const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
+  const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
+  SweepJobPlan Plan;
+  Plan.BaselineJobs = Grid.WithBaseline ? Grid.Workloads.size() : 0;
+  for (size_t W = 0; W < Plan.BaselineJobs; ++W) {
+    SweepJobPlan::Coord Co;
+    Co.IsBaseline = true;
+    Co.W = W;
+    Plan.Jobs.push_back(Co);
+    Plan.Ids.push_back("base/w" + std::to_string(W));
+  }
+  for (size_t T = 0; T < Grid.Techniques.size(); ++T)
+    for (size_t W = 0; W < Grid.Workloads.size(); ++W)
+      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
+        for (size_t C = 0; C < Schedulers.size(); ++C)
+          for (size_t N = 0; N < Scenarios.size(); ++N) {
+            // A cell that IS the paper's reference point (baseline
+            // technique, oblivious scheduler, batch scenario) would
+            // simulate the identical replay twice; it reuses the
+            // baseline's job instead (bit-identical by construction:
+            // same images, same tuner, same queues, same policy).
+            if (Grid.WithBaseline &&
+                Grid.Techniques[T] == TechniqueSpec::baseline() &&
+                Schedulers[C] == SchedulerSpec() &&
+                Scenarios[N] == ScenarioSpec()) {
+              Plan.CellJob.push_back(W);
+              continue;
+            }
+            Plan.CellJob.push_back(Plan.Jobs.size());
+            SweepJobPlan::Coord Co;
+            Co.T = T;
+            Co.W = W;
+            Co.S = S;
+            Co.C = C;
+            Co.N = N;
+            Plan.Jobs.push_back(Co);
+            Plan.Ids.push_back("cell/t" + std::to_string(T) + "/w" +
+                               std::to_string(W) + "/s" + std::to_string(S) +
+                               "/c" + std::to_string(C) + "/n" +
+                               std::to_string(N));
+          }
+  return Plan;
+}
+
+/// Assembles a SweepResult from per-job results in batch order:
+/// identical for simulated and unit-fed runs, so merged artifacts are
+/// byte-identical by construction.
+SweepResult assembleSweep(const SweepGrid &Grid, const SweepJobPlan &Plan,
+                          const MachineConfig &Machine,
+                          std::vector<RunResult> Runs) {
+  const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
+  const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
   SweepResult Result;
+  for (size_t W = 0; W < Plan.BaselineJobs; ++W) {
+    Result.Baselines.push_back(std::move(Runs[W]));
+    Result.BaselineFair.push_back(
+        computeFairness(Result.Baselines.back().Completed));
+    Result.BaselineLatency.push_back(
+        computeLatency(Result.Baselines.back(), Machine));
+  }
+
+  size_t Next = 0;
+  for (size_t T = 0; T < Grid.Techniques.size(); ++T)
+    for (size_t W = 0; W < Grid.Workloads.size(); ++W)
+      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
+        for (size_t C = 0; C < Schedulers.size(); ++C)
+          for (size_t N = 0; N < Scenarios.size(); ++N) {
+            SweepCell Cell;
+            Cell.Technique = static_cast<uint32_t>(T);
+            Cell.Workload = static_cast<uint32_t>(W);
+            Cell.TypingSeed = static_cast<uint32_t>(S);
+            Cell.Scheduler = static_cast<uint32_t>(C);
+            Cell.Scenario = static_cast<uint32_t>(N);
+            size_t Job = Plan.CellJob[Next++];
+            // Baseline jobs were moved into Result.Baselines above;
+            // cells reusing one copy it, cells with their own job take
+            // it.
+            Cell.Run = Job < Plan.BaselineJobs ? Result.Baselines[Job]
+                                               : std::move(Runs[Job]);
+            Cell.Fair = computeFairness(Cell.Run.Completed);
+            Cell.Latency = computeLatency(Cell.Run, Machine);
+            Result.Cells.push_back(std::move(Cell));
+          }
+  return Result;
+}
+
+/// Materializes each workload shape once; baselines replay it once and
+/// every cell of every technique reuses the identical queues/seeds (the
+/// paper's same-queues methodology).
+Workload materializeWorkload(const WorkloadSpec &Spec, size_t ProgramCount) {
+  return Workload::random(Spec.Slots, Spec.JobsPerSlot,
+                          static_cast<uint32_t>(ProgramCount), Spec.Seed);
+}
+
+} // namespace
+
+SweepUnitList pbt::exp::enumerateSweepUnits(const SweepGrid &Grid) {
+  SweepJobPlan Plan = planSweepJobs(Grid);
+  SweepUnitList Units;
+  Units.Ids = std::move(Plan.Ids);
+  Units.BaselineJobs = Plan.BaselineJobs;
+  return Units;
+}
+
+SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
+  SweepJobPlan Plan = planSweepJobs(Grid);
   const std::vector<double> &Iso = L.isolated();
   const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
   const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
@@ -55,86 +183,127 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
   if (Grid.WithBaseline)
     BaselineSuite = L.suite(TechniqueSpec::baseline());
 
-  // Materialize each workload shape once; baselines replay it once and
-  // every cell of every technique reuses the identical queues/seeds (the
-  // paper's same-queues methodology).
   std::vector<Workload> Workloads;
   Workloads.reserve(Grid.Workloads.size());
   for (const WorkloadSpec &Spec : Grid.Workloads)
-    Workloads.push_back(Workload::random(
-        Spec.Slots, Spec.JobsPerSlot,
-        static_cast<uint32_t>(L.programs().size()), Spec.Seed));
+    Workloads.push_back(materializeWorkload(Spec, L.programs().size()));
 
   // One flat batch: baseline replays first, then all cells. Every job is
   // an independent simulation, so batch execution is bit-identical to
   // running them back to back. Baselines always replay under the
   // oblivious scheduler and the batch scenario — the paper's fixed
-  // reference point. A cell that IS that reference point (baseline
-  // technique, oblivious scheduler, batch scenario, with a baseline job
-  // for its workload in the batch) would simulate the identical replay
-  // twice; it reuses the baseline's result instead (bit-identical by
-  // construction: same images, same tuner, same queues, same policy).
-  // The grid's engine applies to baselines and cells alike, so
-  // vs-baseline deltas always compare like with like.
+  // reference point. The grid's engine applies to baselines and cells
+  // alike, so vs-baseline deltas always compare like with like.
   SimConfig CellSim = L.sim();
   CellSim.Engine = Grid.Engine;
   std::vector<WorkloadJob> Jobs;
-  size_t BaselineJobs = Grid.WithBaseline ? Grid.Workloads.size() : 0;
-  for (size_t W = 0; W < BaselineJobs; ++W)
-    Jobs.push_back({&BaselineSuite, &Workloads[W], &L.machine(), CellSim,
-                    Grid.Workloads[W].Horizon, &Iso, SchedulerSpec(),
-                    ScenarioSpec()});
-  std::vector<size_t> CellJob; // Per cell: index into Jobs.
-  for (size_t T = 0; T < Grid.Techniques.size(); ++T)
-    for (size_t W = 0; W < Grid.Workloads.size(); ++W)
-      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
-        for (size_t C = 0; C < Schedulers.size(); ++C)
-          for (size_t N = 0; N < Scenarios.size(); ++N) {
-            if (Grid.WithBaseline &&
-                Grid.Techniques[T] == TechniqueSpec::baseline() &&
-                Schedulers[C] == SchedulerSpec() &&
-                Scenarios[N] == ScenarioSpec()) {
-              CellJob.push_back(W); // The workload's baseline job.
-              continue;
-            }
-            const PreparedSuite &Suite =
-                Suites[T * Grid.TypingSeeds.size() + S];
-            CellJob.push_back(Jobs.size());
-            Jobs.push_back({&Suite, &Workloads[W], &L.machine(), CellSim,
-                            Grid.Workloads[W].Horizon, &Iso,
-                            Schedulers[C], Scenarios[N]});
-          }
-  std::vector<RunResult> Runs = runWorkloads(Jobs);
-
-  for (size_t W = 0; W < BaselineJobs; ++W) {
-    Result.Baselines.push_back(std::move(Runs[W]));
-    Result.BaselineFair.push_back(
-        computeFairness(Result.Baselines.back().Completed));
-    Result.BaselineLatency.push_back(
-        computeLatency(Result.Baselines.back(), L.machine()));
+  Jobs.reserve(Plan.Jobs.size());
+  for (const SweepJobPlan::Coord &Co : Plan.Jobs) {
+    if (Co.IsBaseline) {
+      Jobs.push_back({&BaselineSuite, &Workloads[Co.W], &L.machine(), CellSim,
+                      Grid.Workloads[Co.W].Horizon, &Iso, SchedulerSpec(),
+                      ScenarioSpec()});
+      continue;
+    }
+    const PreparedSuite &Suite =
+        Suites[Co.T * Grid.TypingSeeds.size() + Co.S];
+    Jobs.push_back({&Suite, &Workloads[Co.W], &L.machine(), CellSim,
+                    Grid.Workloads[Co.W].Horizon, &Iso, Schedulers[Co.C],
+                    Scenarios[Co.N]});
   }
+  std::vector<RunResult> Runs = runWorkloads(Jobs);
+  return assembleSweep(Grid, Plan, L.machine(), std::move(Runs));
+}
 
-  size_t Next = 0;
-  for (size_t T = 0; T < Grid.Techniques.size(); ++T)
-    for (size_t W = 0; W < Grid.Workloads.size(); ++W)
-      for (size_t S = 0; S < Grid.TypingSeeds.size(); ++S)
-        for (size_t C = 0; C < Schedulers.size(); ++C)
-          for (size_t N = 0; N < Scenarios.size(); ++N) {
-            SweepCell Cell;
-            Cell.Technique = static_cast<uint32_t>(T);
-            Cell.Workload = static_cast<uint32_t>(W);
-            Cell.TypingSeed = static_cast<uint32_t>(S);
-            Cell.Scheduler = static_cast<uint32_t>(C);
-            Cell.Scenario = static_cast<uint32_t>(N);
-            size_t Job = CellJob[Next++];
-            // Baseline jobs were moved into Result.Baselines above;
-            // cells reusing one copy it, cells with their own job take
-            // it.
-            Cell.Run = Job < BaselineJobs ? Result.Baselines[Job]
-                                          : std::move(Runs[Job]);
-            Cell.Fair = computeFairness(Cell.Run.Completed);
-            Cell.Latency = computeLatency(Cell.Run, L.machine());
-            Result.Cells.push_back(std::move(Cell));
-          }
-  return Result;
+SweepShardStats pbt::exp::runSweepSharded(Lab &L, const SweepGrid &Grid,
+                                          const ShardSpec &Spec,
+                                          const SweepUnitRecorder &Record) {
+  SweepJobPlan Plan = planSweepJobs(Grid);
+  const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
+  const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
+
+  SweepShardStats Stats;
+  Stats.UnitsTotal = Plan.Jobs.size();
+  std::vector<size_t> Owned;
+  for (size_t Job = 0; Job < Plan.Jobs.size(); ++Job)
+    if (shardOf(Job, Spec.Count) == Spec.Index)
+      Owned.push_back(Job);
+  Stats.UnitsOwned = Owned.size();
+  if (Owned.empty())
+    return Stats;
+
+  // Prepare only what the owned units touch: a shard that owns no cell
+  // of a given (technique, typing seed) never runs its pipeline, and a
+  // shard owning no baseline skips the baseline suite.
+  const std::vector<double> &Iso = L.isolated();
+  std::map<size_t, PreparedSuite> Suites; // Keyed T * seeds + S.
+  PreparedSuite BaselineSuite;
+  bool NeedBaseline = false;
+  std::map<size_t, Workload> Workloads;
+  for (size_t Job : Owned) {
+    const SweepJobPlan::Coord &Co = Plan.Jobs[Job];
+    if (!Workloads.count(Co.W))
+      Workloads.emplace(
+          Co.W, materializeWorkload(Grid.Workloads[Co.W],
+                                    L.programs().size()));
+    if (Co.IsBaseline) {
+      NeedBaseline = true;
+      continue;
+    }
+    size_t Key = Co.T * Grid.TypingSeeds.size() + Co.S;
+    if (!Suites.count(Key))
+      Suites.emplace(Key,
+                     L.suite(Grid.Techniques[Co.T], Grid.TypingSeeds[Co.S]));
+  }
+  if (NeedBaseline)
+    BaselineSuite = L.suite(TechniqueSpec::baseline());
+
+  // One parallel batch of just the owned jobs. Each job is a fully
+  // independent simulation, so its result is bit-identical to the same
+  // job inside a full runSweep batch.
+  SimConfig CellSim = L.sim();
+  CellSim.Engine = Grid.Engine;
+  std::vector<WorkloadJob> Jobs;
+  Jobs.reserve(Owned.size());
+  for (size_t Job : Owned) {
+    const SweepJobPlan::Coord &Co = Plan.Jobs[Job];
+    if (Co.IsBaseline) {
+      Jobs.push_back({&BaselineSuite, &Workloads.at(Co.W), &L.machine(),
+                      CellSim, Grid.Workloads[Co.W].Horizon, &Iso,
+                      SchedulerSpec(), ScenarioSpec()});
+      continue;
+    }
+    const PreparedSuite &Suite =
+        Suites.at(Co.T * Grid.TypingSeeds.size() + Co.S);
+    Jobs.push_back({&Suite, &Workloads.at(Co.W), &L.machine(), CellSim,
+                    Grid.Workloads[Co.W].Horizon, &Iso, Schedulers[Co.C],
+                    Scenarios[Co.N]});
+  }
+  std::vector<RunResult> Runs = runWorkloads(Jobs);
+  for (size_t I = 0; I < Owned.size(); ++I)
+    Record(Plan.Ids[Owned[I]], Runs[I]);
+  return Stats;
+}
+
+SweepResult pbt::exp::placeholderSweep(const SweepGrid &Grid,
+                                       const MachineConfig &Machine) {
+  SweepJobPlan Plan = planSweepJobs(Grid);
+  return assembleSweep(Grid, Plan, Machine,
+                       std::vector<RunResult>(Plan.Jobs.size()));
+}
+
+SweepResult pbt::exp::runSweepFromUnits(const SweepGrid &Grid,
+                                        const MachineConfig &Machine,
+                                        const SweepUnitSource &Units) {
+  SweepJobPlan Plan = planSweepJobs(Grid);
+  std::vector<RunResult> Runs;
+  Runs.reserve(Plan.Jobs.size());
+  for (const std::string &Id : Plan.Ids) {
+    const RunResult *Run = Units(Id);
+    if (!Run)
+      throw std::runtime_error("sweep unit " + Id +
+                               " missing from merged shards");
+    Runs.push_back(*Run);
+  }
+  return assembleSweep(Grid, Plan, Machine, std::move(Runs));
 }

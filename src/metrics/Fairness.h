@@ -44,20 +44,33 @@ struct FairnessMetrics {
 FairnessMetrics computeFairness(const std::vector<CompletedJob> &Jobs,
                                 PercentileMode Mode = PercentileMode::Exact);
 
-/// Streaming fairness accumulator: running maxima and mean, P²-sketched
-/// P95Flow — O(1) memory in job count (see LatencyAccumulator).
+/// Streaming fairness accumulator: running maxima and mean, t-digest-
+/// sketched P95Flow — O(1) memory in job count, and mergeable for the
+/// sharded experiment fabric (see LatencyAccumulator for the merge
+/// contract: canonical shard-index order, single-part identity).
 class FairnessAccumulator {
 public:
   void add(const CompletedJob &Job);
   size_t jobs() const { return Jobs; }
   FairnessMetrics finish() const;
 
+  /// Appends the accumulator to \p W (bit-exact round-trip).
+  void serialize(BinaryWriter &W) const;
+
+  /// Reads an accumulator serialized by serialize(); false on
+  /// malformed input.
+  bool deserialize(BinaryReader &R);
+
+  /// Merges \p Parts (canonical order; see LatencyAccumulator::merged).
+  static FairnessAccumulator
+  merged(const std::vector<FairnessAccumulator> &Parts);
+
 private:
   size_t Jobs = 0;
   double FlowSum = 0;
   double MaxFlow = 0;
   double MaxStretch = 0;
-  P2Quantile P95F{95};
+  TDigest Flow;
 };
 
 /// Percent decrease of \p Value relative to \p Baseline: positive is an

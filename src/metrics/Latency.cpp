@@ -6,6 +6,7 @@
 
 #include "metrics/Latency.h"
 
+#include "support/Binary.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -32,14 +33,12 @@ void LatencyAccumulator::add(const CompletedJob &Job) {
   ++Jobs;
   double T = Job.Completion - Job.Arrival;
   TurnSum += T;
-  P50T.add(T);
-  P95T.add(T);
-  P99T.add(T);
+  Turn.add(T);
   if (Job.Isolated > 0) {
     double S = T / Job.Isolated;
     ++SlowJobs;
     SlowSum += S;
-    P95S.add(S);
+    Slow.add(S);
     if (S > MaxSlow)
       MaxSlow = S;
   }
@@ -53,15 +52,57 @@ LatencyMetrics LatencyAccumulator::finish(double Horizon,
   if (Jobs == 0)
     return M;
   M.MeanTurnaround = TurnSum / static_cast<double>(Jobs);
-  M.P50Turnaround = P50T.value();
-  M.P95Turnaround = P95T.value();
-  M.P99Turnaround = P99T.value();
+  M.P50Turnaround = Turn.percentile(50);
+  M.P95Turnaround = Turn.percentile(95);
+  M.P99Turnaround = Turn.percentile(99);
   if (SlowJobs > 0) {
     M.MeanSlowdown = SlowSum / static_cast<double>(SlowJobs);
-    M.P95Slowdown = P95S.value();
+    M.P95Slowdown = Slow.percentile(95);
     M.MaxSlowdown = MaxSlow;
   }
   return M;
+}
+
+void LatencyAccumulator::serialize(BinaryWriter &W) const {
+  W.u64(Jobs);
+  W.f64(TurnSum);
+  W.u64(SlowJobs);
+  W.f64(SlowSum);
+  W.f64(MaxSlow);
+  Turn.serialize(W);
+  Slow.serialize(W);
+}
+
+bool LatencyAccumulator::deserialize(BinaryReader &R) {
+  Jobs = R.u64();
+  TurnSum = R.f64();
+  SlowJobs = R.u64();
+  SlowSum = R.f64();
+  MaxSlow = R.f64();
+  return Turn.deserialize(R) && Slow.deserialize(R) && !R.failed();
+}
+
+LatencyAccumulator
+LatencyAccumulator::merged(const std::vector<LatencyAccumulator> &Parts) {
+  LatencyAccumulator Out;
+  if (Parts.size() == 1)
+    return Parts.front();
+  std::vector<const TDigest *> Turns;
+  std::vector<const TDigest *> Slows;
+  for (const LatencyAccumulator &Part : Parts) {
+    Out.Jobs += Part.Jobs;
+    Out.TurnSum += Part.TurnSum;
+    Out.SlowJobs += Part.SlowJobs;
+    Out.SlowSum += Part.SlowSum;
+    Out.MaxSlow = std::max(Out.MaxSlow, Part.MaxSlow);
+    Turns.push_back(&Part.Turn);
+    Slows.push_back(&Part.Slow);
+  }
+  if (!Parts.empty()) {
+    Out.Turn = TDigest::merged(Turns);
+    Out.Slow = TDigest::merged(Slows);
+  }
+  return Out;
 }
 
 LatencyMetrics pbt::computeLatency(const RunResult &Run,

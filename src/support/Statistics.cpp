@@ -6,6 +6,8 @@
 
 #include "support/Statistics.h"
 
+#include "support/Binary.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -167,6 +169,141 @@ double P2Quantile::value() const {
     return interpolatedQuantile(Sorted, Q);
   }
   return Heights[2];
+}
+
+TDigest::TDigest(double Compression) : Compression(Compression) {
+  assert(Compression >= 8 && "t-digest compression too small");
+  // Buffering 2x the compression amortizes compaction to O(log) sorts
+  // per observation while keeping peak memory O(Compression).
+  Buffer.reserve(static_cast<size_t>(2 * Compression));
+}
+
+void TDigest::add(double X) {
+  Buffer.push_back(X);
+  Total += 1;
+  if (Buffer.size() >= static_cast<size_t>(2 * Compression))
+    flush();
+}
+
+std::vector<TDigest::Centroid>
+TDigest::compact(std::vector<Centroid> All, double Total,
+                 double Compression) {
+  // The one ordering every path (add-side flush, multi-digest merge)
+  // compacts under: mean, then weight. Ties in both fields merge to an
+  // identical centroid whichever comes first, so the compacted digest
+  // is a pure function of the multiset of input centroids.
+  std::sort(All.begin(), All.end(),
+            [](const Centroid &A, const Centroid &B) {
+              return A.Mean != B.Mean ? A.Mean < B.Mean
+                                      : A.Weight < B.Weight;
+            });
+  std::vector<Centroid> Out;
+  Out.reserve(All.size());
+  double SoFar = 0; // Weight fully to the left of Out.back().
+  for (const Centroid &C : All) {
+    if (!Out.empty()) {
+      double W = Out.back().Weight + C.Weight;
+      double Q = (SoFar + W / 2) / Total;
+      double Limit = 4 * Total * Q * (1 - Q) / Compression;
+      if (W <= Limit) {
+        Out.back().Mean =
+            (Out.back().Mean * Out.back().Weight + C.Mean * C.Weight) / W;
+        Out.back().Weight = W;
+        continue;
+      }
+      SoFar += Out.back().Weight;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void TDigest::flush() const {
+  if (Buffer.empty())
+    return;
+  std::vector<Centroid> All = Centroids;
+  All.reserve(All.size() + Buffer.size());
+  for (double X : Buffer)
+    All.push_back({X, 1});
+  Buffer.clear();
+  Centroids = compact(std::move(All), Total, Compression);
+}
+
+double TDigest::quantile(double Q) const {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile fraction out of range");
+  flush();
+  if (Centroids.empty())
+    return 0;
+  if (Centroids.size() == 1)
+    return Centroids.front().Mean;
+  // Type-7 target rank, interpolated between centroid center ranks
+  // cum + (w - 1) / 2 — for singleton centroids the center rank of the
+  // i-th centroid is exactly i, so this reduces to percentile().
+  double R = Q * (Total - 1);
+  double Cum = 0;
+  double PrevCenter = (Centroids.front().Weight - 1) / 2;
+  if (R <= PrevCenter)
+    return Centroids.front().Mean;
+  for (size_t I = 1; I < Centroids.size(); ++I) {
+    Cum += Centroids[I - 1].Weight;
+    double Center = Cum + (Centroids[I].Weight - 1) / 2;
+    if (R <= Center) {
+      double Frac = (R - PrevCenter) / (Center - PrevCenter);
+      return Centroids[I - 1].Mean +
+             Frac * (Centroids[I].Mean - Centroids[I - 1].Mean);
+    }
+    PrevCenter = Center;
+  }
+  return Centroids.back().Mean;
+}
+
+void TDigest::serialize(BinaryWriter &W) const {
+  flush();
+  W.f64(Compression);
+  W.f64(Total);
+  W.u32(static_cast<uint32_t>(Centroids.size()));
+  for (const Centroid &C : Centroids) {
+    W.f64(C.Mean);
+    W.f64(C.Weight);
+  }
+}
+
+bool TDigest::deserialize(BinaryReader &R) {
+  Compression = R.f64();
+  Total = R.f64();
+  uint32_t N = R.count(1u << 22, 16);
+  Centroids.clear();
+  Buffer.clear();
+  Centroids.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    Centroid C;
+    C.Mean = R.f64();
+    C.Weight = R.f64();
+    Centroids.push_back(C);
+  }
+  return !R.failed() && Compression >= 8 && Total >= 0;
+}
+
+TDigest TDigest::merged(const std::vector<const TDigest *> &Parts) {
+  assert(!Parts.empty() && "merging zero digests");
+  // Single-shard merge is the identity: copy, never re-compact (a
+  // second compaction pass could legally merge further).
+  if (Parts.size() == 1) {
+    Parts.front()->flush();
+    return *Parts.front();
+  }
+  TDigest Out(Parts.front()->Compression);
+  std::vector<Centroid> All;
+  for (const TDigest *Part : Parts) {
+    assert(Part->Compression == Out.Compression &&
+           "merging digests of different compression");
+    Part->flush();
+    All.insert(All.end(), Part->Centroids.begin(), Part->Centroids.end());
+    Out.Total += Part->Total;
+  }
+  if (Out.Total > 0)
+    Out.Centroids = compact(std::move(All), Out.Total, Out.Compression);
+  return Out;
 }
 
 double pbt::geomean(const std::vector<double> &Values) {
