@@ -429,12 +429,23 @@ int main(int Argc, char **Argv) {
       continue;
     }
     std::printf("\n---- %s ----\n", E.Name);
-    if (ShardMode)
-      RT.beginExperiment(E.Name, E.Granularity);
     // The guard is the driver's fault boundary: a throwing or failing
     // experiment becomes a recorded failure, and the batch moves on to
-    // the next experiment.
-    exp::GuardedResult R = exp::runGuarded(E.Fn, Guard);
+    // the next experiment. The shard bracket opens inside the guarded
+    // body so EVERY attempt starts from a clean bracket — a retried
+    // attempt must not inherit the failed attempt's sweep seq numbers,
+    // recorded units, or staged sketch contributions (beginExperiment
+    // replaces the manifest entry it already holds for this name).
+    std::function<int()> Body = E.Fn;
+    if (ShardMode) {
+      exp::ShardRuntime *RTp = &RT;
+      const Experiment *EP = &E;
+      Body = [RTp, EP] {
+        RTp->beginExperiment(EP->Name, EP->Granularity);
+        return EP->Fn();
+      };
+    }
+    exp::GuardedResult R = exp::runGuarded(Body, Guard);
     // After a timeout the abandoned runner may still be inside harness
     // calls that touch the runtime; leave its bracket alone (the
     // manifest is skipped below, so the incomplete shard can never be

@@ -216,12 +216,25 @@ void ShardRuntime::beginExperiment(const std::string &Name,
   SweepSeq = 0;
   PayloadUnitsBuf = BinaryWriter();
   PayloadUnits = 0;
+  CurLatency = LatencyAccumulator();
+  CurFairness = FairnessAccumulator();
+  CurCells = 0;
   LastEntryIndex = -1;
   if (M == Mode::Shard) {
-    ManifestEntry E;
-    E.Name = Name;
-    E.G = G;
-    Entries.push_back(std::move(E));
+    // A bracket re-opened for the name it already holds is a retry of
+    // the same experiment (the driver brackets every attempt): the
+    // failed attempt's manifest entry is replaced, not kept beside a
+    // second one.
+    if (!Entries.empty() && Entries.back().Name == Name) {
+      Entries.back() = ManifestEntry();
+      Entries.back().Name = Name;
+      Entries.back().G = G;
+    } else {
+      ManifestEntry E;
+      E.Name = Name;
+      E.G = G;
+      Entries.push_back(std::move(E));
+    }
     LastEntryIndex = static_cast<int>(Entries.size()) - 1;
   }
 }
@@ -230,6 +243,14 @@ void ShardRuntime::endExperiment(int ExitCode) {
   if (M == Mode::Shard && LastEntryIndex >= 0) {
     ManifestEntry &E = Entries[static_cast<size_t>(LastEntryIndex)];
     E.Ok = ExitCode == 0 && !E.ArtifactFile.empty();
+    if (E.Ok) {
+      // Only a successful close reaches the manifest's fabric
+      // sketches; a failed attempt's staged cells would otherwise
+      // double-count once its retry succeeds.
+      DoneLatency.push_back(CurLatency);
+      DoneFairness.push_back(CurFairness);
+      FabricCells += CurCells;
+    }
   }
   CurName.clear();
   CurG = ShardGranularity::Whole;
@@ -245,10 +266,10 @@ void ShardRuntime::recordUnit(uint32_t Seq, const std::string &Id,
   ++PayloadUnits;
   if (Id.compare(0, 5, "cell/") == 0) {
     for (const CompletedJob &Job : Run.Completed) {
-      FabricLatency.add(Job);
-      FabricFairness.add(Job);
+      CurLatency.add(Job);
+      CurFairness.add(Job);
     }
-    ++FabricCells;
+    ++CurCells;
   }
 }
 
@@ -325,8 +346,11 @@ bool ShardRuntime::writeManifest() {
     W.u64(E.PayloadBytes);
   }
   W.u64(FabricCells);
-  FabricLatency.serialize(W);
-  FabricFairness.serialize(W);
+  // Committed per-experiment accumulators, merged in run order (a
+  // deterministic function of the run set — retries never contribute,
+  // since only a successful close commits its staged sketch).
+  LatencyAccumulator::merged(DoneLatency).serialize(W);
+  FairnessAccumulator::merged(DoneFairness).serialize(W);
   // Self-checksum trailer: FNV over everything above, so the merge can
   // distinguish a truncated/corrupt manifest from a malformed one.
   uint64_t Fnv = fnv1a(W.buffer().data(), W.buffer().size());
@@ -612,6 +636,18 @@ std::string pbt::exp::mergeShards(const std::string &ShardDir,
     const std::string &Name = Exp.first;
     ShardGranularity G = Exp.second;
 
+    // Every manifest experiment must resolve in the merging binary —
+    // whole-granularity artifacts included, else a mismatched binary
+    // would byte-copy artifacts it could never have produced.
+    const MergeExperimentInfo *Info = Resolve(Name);
+    if (!Info)
+      return "unknown experiment " + Name +
+             " in shard manifests (not registered in this binary)";
+    if (Info->G != G)
+      return "granularity disagreement for " + Name +
+             ": shard manifests say " + shardGranularityName(G) +
+             ", this binary registers " + shardGranularityName(Info->G);
+
     if (G == ShardGranularity::Whole) {
       // Owned by exactly one shard; its artifact is already the full
       // single-process file — validate and byte-copy.
@@ -641,10 +677,6 @@ std::string pbt::exp::mergeShards(const std::string &ShardDir,
 
     // Sweep-cell experiment: every shard contributes a cells payload;
     // recombine the units and replay the body over them.
-    const MergeExperimentInfo *Info = Resolve(Name);
-    if (!Info || Info->G != ShardGranularity::SweepCells)
-      return "unknown experiment " + Name +
-             " in shard manifests (not registered in this binary)";
     std::map<std::string, RunResult> Units;
     std::map<std::string, uint32_t> UnitOwner;
     for (const ParsedManifest &PM : Shards) {

@@ -153,12 +153,19 @@ public:
   /// Records the run set's identity hash (see hashRunSet).
   void setRunSetHash(uint64_t Hash) { RunSetHash = Hash; }
 
-  /// Brackets one experiment body: resets the per-experiment sweep
-  /// sequence and partial-unit state.
+  /// Brackets one experiment body ATTEMPT: resets the per-experiment
+  /// sweep sequence, partial-unit state, and staged sketch
+  /// contributions. Call at the start of every attempt (the driver
+  /// wraps it into the guarded body), not once per guarded call — a
+  /// retried attempt must not inherit the failed attempt's units or
+  /// seq numbers. Re-opening the bracket for the name it already holds
+  /// replaces the manifest entry rather than appending a second one.
   void beginExperiment(const std::string &Name, ShardGranularity G);
 
-  /// Closes the bracket; \p ExitCode is the body's result and decides
-  /// the manifest disposition (a failed body's files are never merged).
+  /// Closes the bracket; \p ExitCode is the final attempt's result and
+  /// decides the manifest disposition (a failed body's files are never
+  /// merged). Only a successful close commits the attempt's staged
+  /// sketch contributions into the manifest's fabric sketches.
   void endExperiment(int ExitCode);
 
   /// True when the current experiment shards at sweep-cell granularity.
@@ -230,9 +237,16 @@ private:
   std::vector<ManifestEntry> Entries;
   int LastEntryIndex = -1; ///< Entry of the current bracket, or -1.
 
-  // Fabric sketches over every replayed cell of the whole shard run.
-  LatencyAccumulator FabricLatency;
-  FairnessAccumulator FabricFairness;
+  // The current attempt's sketch contributions, staged so a failed
+  // attempt (retried by the driver's guard) never reaches the manifest.
+  LatencyAccumulator CurLatency;
+  FairnessAccumulator CurFairness;
+  uint64_t CurCells = 0;
+
+  // Committed fabric sketches: one accumulator per successfully closed
+  // experiment, merged in run order at manifest-write time.
+  std::vector<LatencyAccumulator> DoneLatency;
+  std::vector<FairnessAccumulator> DoneFairness;
   uint64_t FabricCells = 0;
 
   // Merge mode: units of the current experiment, keyed "seq:id".

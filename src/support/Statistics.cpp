@@ -275,13 +275,26 @@ bool TDigest::deserialize(BinaryReader &R) {
   Centroids.clear();
   Buffer.clear();
   Centroids.reserve(N);
+  double WeightSum = 0;
+  bool WeightsOk = true;
   for (uint32_t I = 0; I < N; ++I) {
     Centroid C;
     C.Mean = R.f64();
     C.Weight = R.f64();
+    WeightsOk = WeightsOk && C.Weight > 0 && std::isfinite(C.Mean);
+    WeightSum += C.Weight;
     Centroids.push_back(C);
   }
-  return !R.failed() && Compression >= 8 && Total >= 0;
+  // Beyond wire-format checks, enforce the digest invariants a crafted
+  // or corrupt-but-checksummed stream could violate: Compression in a
+  // sane range (an oversized value would overflow add()'s buffer
+  // sizing), strictly positive finite centroids, and Total equal to
+  // the centroid weight mass (serialize() flushes the buffer, so after
+  // a round trip the centroids carry every observation; weights are
+  // integer counts, hence the sum is exact). NaNs fail every
+  // comparison, so non-finite headers are rejected too.
+  return !R.failed() && Compression >= 8 && Compression <= 1e6 &&
+         Total >= 0 && WeightsOk && WeightSum == Total;
 }
 
 TDigest TDigest::merged(const std::vector<const TDigest *> &Parts) {

@@ -671,6 +671,36 @@ TEST(TDigestTest, SerializeRoundTripsBitExactly) {
     EXPECT_EQ(Restored.quantile(Q), D.quantile(Q));
 }
 
+// deserialize enforces the digest invariants, not just the wire
+// format: a crafted or corrupt-but-checksummed stream with an
+// oversized compression (add() sizes its buffer as 2 x Compression),
+// a Total inconsistent with the centroid weight mass, or non-positive
+// weights must be rejected, never loaded as a silently skewed digest.
+TEST(TDigestTest, DeserializeRejectsInvariantViolations) {
+  auto Rejects = [](double Compression, double Total,
+                    std::vector<std::pair<double, double>> Centroids) {
+    BinaryWriter W;
+    W.f64(Compression);
+    W.f64(Total);
+    W.u32(static_cast<uint32_t>(Centroids.size()));
+    for (const auto &C : Centroids) {
+      W.f64(C.first);  // mean
+      W.f64(C.second); // weight
+    }
+    BinaryReader R(W.buffer());
+    TDigest D;
+    return !D.deserialize(R);
+  };
+  EXPECT_FALSE(Rejects(256, 3, {{1, 1}, {2, 1}, {3, 1}})); // sane: loads
+  EXPECT_TRUE(Rejects(1e9, 3, {{1, 1}, {2, 1}, {3, 1}}));  // huge compression
+  EXPECT_TRUE(Rejects(4, 3, {{1, 1}, {2, 1}, {3, 1}}));    // undersized
+  EXPECT_TRUE(Rejects(256, 5, {{1, 1}, {2, 1}, {3, 1}}));  // Total > mass
+  EXPECT_TRUE(Rejects(256, 2, {{1, 1}, {2, 1}, {3, 1}}));  // Total < mass
+  EXPECT_TRUE(Rejects(256, 1, {{1, 0}, {2, 1}}));          // zero weight
+  EXPECT_TRUE(Rejects(256, 0, {{1, -1}, {2, 1}}));         // negative weight
+  EXPECT_TRUE(Rejects(256, 3, {}));                        // Total, no mass
+}
+
 //===----------------------------------------------------------------------===//
 // Mergeable metric accumulators (shard manifests -> BENCH_merge.json)
 //===----------------------------------------------------------------------===//
