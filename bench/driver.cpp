@@ -16,10 +16,17 @@
 //    the standalone binaries' output (locked in by tests and CI).
 //
 // Usage:
-//   driver [--list] [--only=name1,name2] [--clean-cache]
+//   driver [--list] [--only=name1,name2] [--verify-ir] [--clean-cache]
 //          [--gc-cache] [--max-cache-bytes=N] [--max-cache-age-days=D]
 //          [--timeout-seconds=D] [--max-attempts=N]
 //          [--shard=k/n] [--merge=dir]
+//
+// --verify-ir (or PBT_VERIFY_IR=1) turns on the self-verifying IR: the
+// VerifyPass static analysis runs after every pipeline pass during
+// preparation, and every store-served suite is re-audited against the
+// same invariants before it reaches a simulation. A violation fails
+// that experiment (the guard records it); the artifacts themselves are
+// unchanged — verification only reads.
 //
 // --shard=k/n (or PBT_SHARD=k/n; the flag wins) runs this process as
 // shard k of an n-shard fabric: whole experiments are round-robined
@@ -63,7 +70,7 @@
 // PBT_EXP_TIMEOUT_SECONDS / PBT_EXP_MAX_ATTEMPTS default the two
 // guard flags, PBT_FAULTS arms fault injection (support/FaultInjection).
 //
-// Writes BENCH_driver.json (schema pbt-driver-v3, docs/BENCH_SCHEMA.md)
+// Writes BENCH_driver.json (schema pbt-driver-v4, docs/BENCH_SCHEMA.md)
 // with per-experiment status/attempts/duration, a failure summary, and
 // suite-cache statistics; exits non-zero when any experiment failed.
 // Per-experiment BENCH_*.json files are unaffected by the guard and
@@ -73,6 +80,7 @@
 
 #include "Registry.h"
 
+#include "analysis/PassManager.h"
 #include "exp/CacheStore.h"
 #include "exp/Guard.h"
 #include "exp/Harness.h"
@@ -139,6 +147,8 @@ int main(int Argc, char **Argv) {
     const char *Arg = Argv[I];
     if (std::strcmp(Arg, "--list") == 0) {
       ListOnly = true;
+    } else if (std::strcmp(Arg, "--verify-ir") == 0) {
+      setVerifyIR(true);
     } else if (std::strcmp(Arg, "--clean-cache") == 0) {
       CleanCache = true;
     } else if (std::strcmp(Arg, "--gc-cache") == 0) {
@@ -199,9 +209,10 @@ int main(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: driver [--list] [--only=name1,name2] "
-                   "[--clean-cache] [--gc-cache] [--max-cache-bytes=N] "
-                   "[--max-cache-age-days=D] [--timeout-seconds=D] "
-                   "[--max-attempts=N] [--shard=k/n] [--merge=dir]\n");
+                   "[--verify-ir] [--clean-cache] [--gc-cache] "
+                   "[--max-cache-bytes=N] [--max-cache-age-days=D] "
+                   "[--timeout-seconds=D] [--max-attempts=N] "
+                   "[--shard=k/n] [--merge=dir]\n");
       return 2;
     }
   }
@@ -380,6 +391,9 @@ int main(int Argc, char **Argv) {
               ShardMode ? Shard.label().c_str() : "");
   if (Store)
     std::printf("persistent suite cache: %s\n", Store->dir().c_str());
+  if (verifyIREnabled())
+    std::printf("self-verifying IR: on (VerifyPass after every pipeline "
+                "pass + store-served suite audits)\n");
 
   exp::GuardOptions Guard;
   Guard.TimeoutSeconds = TimeoutSeconds;
@@ -495,18 +509,25 @@ int main(int Argc, char **Argv) {
   uint64_t MemoryHits = 0;
   uint64_t StoreHits = 0;
   uint64_t PreparedCount = 0;
+  uint64_t PreparedProgramCount = 0;
+  uint64_t ProgramStoreHits = 0;
   if (!AbandonedRunner)
     for (exp::Lab *L : Pool.labs()) {
       MemoryHits += L->cache().hits();
       StoreHits += L->cache().storeHits();
       PreparedCount += L->cache().prepared();
+      PreparedProgramCount += L->cache().preparedPrograms();
+      ProgramStoreHits += L->cache().programStoreHits();
     }
 
   Json Root = Json::object();
-  // v3: optional "shard" block (sharded-fabric runs) and the
-  // "other-shard" per-experiment status; v2 added suite_cache store
-  // counters — see docs/BENCH_SCHEMA.md.
-  Root["schema"] = "pbt-driver-v3";
+  // v4: "pipeline" per-pass stats block, module-granular suite_cache
+  // counters (prepared_programs, program_store_hits, store.prog_*),
+  // and "verify_ir"; v3 added the optional "shard" block and the
+  // "other-shard" status; v2 added suite_cache store counters — see
+  // docs/BENCH_SCHEMA.md.
+  Root["schema"] = "pbt-driver-v4";
+  Root["verify_ir"] = verifyIREnabled();
   if (ShardMode) {
     Json ShardBlock = Json::object();
     ShardBlock["index"] = Shard.Index;
@@ -526,11 +547,14 @@ int main(int Argc, char **Argv) {
     // The counters would be read beside a thread still incrementing
     // them; null is honest where numbers would be racy.
     Root["suite_cache"] = Json();
+    Root["pipeline"] = Json();
   } else {
     Json CacheStats = Json::object();
     CacheStats["memory_hits"] = MemoryHits;
     CacheStats["store_hits"] = StoreHits;
     CacheStats["prepared"] = PreparedCount;
+    CacheStats["prepared_programs"] = PreparedProgramCount;
+    CacheStats["program_store_hits"] = ProgramStoreHits;
     if (Store) {
       Json StoreStats = Json::object();
       StoreStats["hits"] = Store->hits();
@@ -539,21 +563,52 @@ int main(int Argc, char **Argv) {
       StoreStats["writes"] = Store->writes();
       StoreStats["quarantines"] = Store->quarantines();
       StoreStats["lock_timeouts"] = Store->lockTimeouts();
+      StoreStats["prog_hits"] = Store->progHits();
+      StoreStats["prog_misses"] = Store->progMisses();
+      StoreStats["prog_writes"] = Store->progWrites();
       CacheStats["store"] = std::move(StoreStats);
     }
     Root["suite_cache"] = std::move(CacheStats);
+
+    // Per-pass pipeline stats, cumulative over every preparation this
+    // process ran. Seconds is wall time — BENCH_driver.json is excluded
+    // from all byte-identity checks, so it is the one artifact allowed
+    // to carry it.
+    PipelineStats Pipe = cumulativePipelineStats();
+    Json Passes = Json::array();
+    for (const PassStats &P : Pipe.Passes) {
+      Json Pass = Json::object();
+      Pass["name"] = P.Name;
+      Pass["invocations"] = P.Invocations;
+      Pass["programs_changed"] = P.ProgramsChanged;
+      Pass["seconds"] = P.Seconds;
+      Passes.push(std::move(Pass));
+    }
+    Json Pipeline = Json::object();
+    Pipeline["passes"] = std::move(Passes);
+    Root["pipeline"] = std::move(Pipeline);
   }
 
   if (AbandonedRunner)
     std::printf("\n== driver summary: batch aborted after a timeout, "
                 "failed=%zu (suite-cache counters unavailable) ==\n",
                 Failed);
-  else
+  else {
     std::printf("\n== driver summary: memory_hits=%llu store_hits=%llu "
-                "prepared=%llu failed=%zu ==\n",
+                "prepared=%llu prepared_programs=%llu "
+                "program_store_hits=%llu failed=%zu ==\n",
                 static_cast<unsigned long long>(MemoryHits),
                 static_cast<unsigned long long>(StoreHits),
-                static_cast<unsigned long long>(PreparedCount), Failed);
+                static_cast<unsigned long long>(PreparedCount),
+                static_cast<unsigned long long>(PreparedProgramCount),
+                static_cast<unsigned long long>(ProgramStoreHits), Failed);
+    for (const PassStats &P : cumulativePipelineStats().Passes)
+      std::printf("   pass %-12s invocations=%llu changed=%llu %.3fs\n",
+                  P.Name.c_str(),
+                  static_cast<unsigned long long>(P.Invocations),
+                  static_cast<unsigned long long>(P.ProgramsChanged),
+                  P.Seconds);
+  }
   int Exit = Failed == 0 && ManifestOk ? 0 : 1;
   // The summary is shard-suffixed in shard mode so n shards can share
   // one output directory without clobbering each other.

@@ -31,10 +31,15 @@ using namespace pbt::exp;
 
 namespace {
 
-/// "PBTS" as a little-endian u32.
+/// "PBTS" as a little-endian u32: suite manifests.
 constexpr uint32_t Magic = 0x53544250u;
 
-/// Fixed-size file header preceding the payload.
+/// "PBTP" as a little-endian u32: per-program entries.
+constexpr uint32_t ProgMagic = 0x50544250u;
+
+/// Fixed-size file header preceding the payload. Manifests and prog
+/// entries share the layout; for prog entries the second slot holds the
+/// single program's content hash instead of the set hash.
 struct Header {
   uint64_t Key = 0;
   uint64_t ProgramSetHash = 0;
@@ -45,9 +50,10 @@ struct Header {
   uint64_t Checksum = 0;
 };
 
-void writeHeader(BinaryWriter &W, const Header &H) {
-  W.u32(Magic);
-  W.u32(CacheStore::FormatVersion);
+void writeHeader(BinaryWriter &W, uint32_t FileMagic, uint32_t Version,
+                 const Header &H) {
+  W.u32(FileMagic);
+  W.u32(Version);
   W.u64(H.Key);
   W.u64(H.ProgramSetHash);
   W.u64(H.MachineHash);
@@ -172,82 +178,93 @@ std::vector<PhaseMark> readMarks(BinaryReader &R, const Program &Prog) {
 }
 
 //===----------------------------------------------------------------------===//
-// Whole-suite payload
+// Per-program payload and suite manifest
 //===----------------------------------------------------------------------===//
 
-void writeSuite(BinaryWriter &W, const PreparedSuite &Suite) {
-  W.u32(static_cast<uint32_t>(Suite.Images.size()));
-  for (size_t I = 0; I < Suite.Images.size(); ++I) {
-    const InstrumentedProgram &Image = *Suite.Images[I];
-    writeProgram(W, Image.program());
-    writeMarks(W, Image.marks());
-    W.u32(Image.numTypes());
-    const MarkCostModel &Cost = Image.cost();
-    W.u32(Cost.MarkBytes);
-    W.u32(Cost.RuntimeStubBytes);
-    W.u32(Cost.MarkInsts);
-    W.u32(Cost.MonitorSetupCycles);
-    W.u32(Cost.SwitchCycles);
-    Suite.Costs[I]->serializeTables(W);
-    Suite.Flats[I]->serialize(W);
-  }
+/// One prepared program: the `pbt-prog-v1` payload (IR, marks, mark
+/// cost, cost tables, flat image).
+void writePrepared(BinaryWriter &W, const InstrumentedProgram &Image,
+                   const CostModel &Tables, const FlatImage &Flat) {
+  writeProgram(W, Image.program());
+  writeMarks(W, Image.marks());
+  W.u32(Image.numTypes());
+  const MarkCostModel &Cost = Image.cost();
+  W.u32(Cost.MarkBytes);
+  W.u32(Cost.RuntimeStubBytes);
+  W.u32(Cost.MarkInsts);
+  W.u32(Cost.MonitorSetupCycles);
+  W.u32(Cost.SwitchCycles);
+  Tables.serializeTables(W);
+  Flat.serialize(W);
 }
 
-std::shared_ptr<const PreparedSuite>
-readSuite(BinaryReader &R, const MachineConfig &Machine,
-          const TechniqueSpec &Tech) {
-  auto Suite = std::make_shared<PreparedSuite>();
-  uint32_t NumPrograms = R.count(1u << 16);
-  for (uint32_t I = 0; I < NumPrograms && !R.failed(); ++I) {
-    Program Prog = readProgram(R);
-    if (R.failed() || !verify(Prog))
-      return nullptr;
+/// Decodes and validates one prepared program. Returns a
+/// PreparedProgram with null pointers (and \p R marked failed where
+/// applicable) on any rejection.
+PreparedProgram readPrepared(BinaryReader &R, const MachineConfig &Machine,
+                             const TechniqueSpec &Tech) {
+  PreparedProgram Out;
+  Program Prog = readProgram(R);
+  if (R.failed() || !verify(Prog))
+    return Out;
 
-    MarkingResult Marking;
-    Marking.Marks = readMarks(R, Prog);
-    Marking.NumTypes = R.u32();
-    // The tuner sizes its per-phase state by numTypes() and indexes it
-    // with the firing mark's PhaseType; an out-of-range type in a store
-    // file must never reach that lookup, and an absurd NumTypes must
-    // not drive a giant per-process tuner allocation (real typings use
-    // a handful of types; 4096 is far beyond any k-means k).
-    if (Marking.NumTypes > 4096)
+  MarkingResult Marking;
+  Marking.Marks = readMarks(R, Prog);
+  Marking.NumTypes = R.u32();
+  // The tuner sizes its per-phase state by numTypes() and indexes it
+  // with the firing mark's PhaseType; an out-of-range type in a store
+  // file must never reach that lookup, and an absurd NumTypes must
+  // not drive a giant per-process tuner allocation (real typings use
+  // a handful of types; 4096 is far beyond any k-means k).
+  if (Marking.NumTypes > 4096)
+    R.markFailed();
+  for (const PhaseMark &M : Marking.Marks)
+    if (M.PhaseType >= std::max(1u, Marking.NumTypes))
       R.markFailed();
-    for (const PhaseMark &M : Marking.Marks)
-      if (M.PhaseType >= std::max(1u, Marking.NumTypes))
-        R.markFailed();
 
-    MarkCostModel Cost;
-    Cost.MarkBytes = R.u32();
-    Cost.RuntimeStubBytes = R.u32();
-    Cost.MarkInsts = R.u32();
-    Cost.MonitorSetupCycles = R.u32();
-    Cost.SwitchCycles = R.u32();
-    if (R.failed() || Cost != Tech.Cost)
-      return nullptr;
+  MarkCostModel Cost;
+  Cost.MarkBytes = R.u32();
+  Cost.RuntimeStubBytes = R.u32();
+  Cost.MarkInsts = R.u32();
+  Cost.MonitorSetupCycles = R.u32();
+  Cost.SwitchCycles = R.u32();
+  if (R.failed() || Cost != Tech.Cost)
+    return Out;
 
-    CostModel Tables = CostModel::deserializeTables(R, Machine, Prog);
-    if (R.failed())
-      return nullptr;
+  CostModel Tables = CostModel::deserializeTables(R, Machine, Prog);
+  if (R.failed())
+    return Out;
 
-    std::string Name = Prog.Name;
-    size_t BlockCount = Prog.blockCount();
-    auto Image = std::make_shared<const InstrumentedProgram>(
-        std::move(Prog), std::move(Marking), Cost);
-    auto Costs = std::make_shared<const CostModel>(std::move(Tables));
-    auto Flat = std::make_shared<const FlatImage>(
-        FlatImage::deserialize(R, Image, Costs));
-    if (R.failed() || Flat->numBlocks() != BlockCount)
-      return nullptr;
+  size_t BlockCount = Prog.blockCount();
+  auto Image = std::make_shared<const InstrumentedProgram>(
+      std::move(Prog), std::move(Marking), Cost);
+  auto Costs = std::make_shared<const CostModel>(std::move(Tables));
+  auto Flat = std::make_shared<const FlatImage>(
+      FlatImage::deserialize(R, Image, Costs));
+  if (R.failed() || Flat->numBlocks() != BlockCount)
+    return Out;
 
-    Suite->Names.push_back(std::move(Name));
-    Suite->Images.push_back(std::move(Image));
-    Suite->Costs.push_back(std::move(Costs));
-    Suite->Flats.push_back(std::move(Flat));
-  }
-  if (R.failed() || R.remaining() != 0)
-    return nullptr;
-  return Suite;
+  Out.Image = std::move(Image);
+  Out.Cost = std::move(Costs);
+  Out.Flat = std::move(Flat);
+  return Out;
+}
+
+/// The `pbt-suite-v4` manifest payload: the per-program content hashes
+/// whose prog entries make up the suite, in suite order.
+void writeManifest(BinaryWriter &W, const std::vector<uint64_t> &Hashes) {
+  W.u32(static_cast<uint32_t>(Hashes.size()));
+  for (uint64_t H : Hashes)
+    W.u64(H);
+}
+
+std::vector<uint64_t> readManifest(BinaryReader &R) {
+  std::vector<uint64_t> Hashes(R.count(1u << 16, /*ElemBytes=*/8));
+  for (uint64_t &H : Hashes)
+    H = R.u64();
+  if (R.remaining() != 0)
+    R.markFailed();
+  return Hashes;
 }
 
 /// Creates \p Dir (and parents) best-effort; existing directories are
@@ -266,19 +283,42 @@ void makeDirs(const std::string &Dir) {
   }
 }
 
-/// True for file names this store writes for suite entries:
+/// True for file names this store writes for suite manifests:
 /// "suite-<16 hex>.pbt".
-bool isEntryName(const char *Name) {
+bool isSuiteEntryName(const char *Name) {
   size_t Len = std::strlen(Name);
   return Len == 26 && std::strncmp(Name, "suite-", 6) == 0 &&
          std::strcmp(Name + Len - 4, ".pbt") == 0;
 }
 
-/// True for the store's advisory lock files: "suite-<16 hex>.lck".
+/// True for per-program entries: "prog-<16 hex>.pbt".
+bool isProgEntryName(const char *Name) {
+  size_t Len = std::strlen(Name);
+  return Len == 25 && std::strncmp(Name, "prog-", 5) == 0 &&
+         std::strcmp(Name + Len - 4, ".pbt") == 0;
+}
+
+/// True for any entry this store writes (manifest or prog).
+bool isEntryName(const char *Name) {
+  return isSuiteEntryName(Name) || isProgEntryName(Name);
+}
+
+/// True for the store's advisory lock files: "suite-<16 hex>.lck" or
+/// "prog-<16 hex>.lck".
 bool isLockName(const char *Name) {
   size_t Len = std::strlen(Name);
-  return Len == 26 && std::strncmp(Name, "suite-", 6) == 0 &&
-         std::strcmp(Name + Len - 4, ".lck") == 0;
+  if (std::strncmp(Name, "suite-", 6) == 0)
+    return Len == 26 && std::strcmp(Name + Len - 4, ".lck") == 0;
+  if (std::strncmp(Name, "prog-", 5) == 0)
+    return Len == 25 && std::strcmp(Name + Len - 4, ".lck") == 0;
+  return false;
+}
+
+/// True when \p Name starts with one of the store's entry prefixes (the
+/// debris sweep's coarse filter; exact shapes are checked above).
+bool hasStorePrefix(const char *Name) {
+  return std::strncmp(Name, "suite-", 6) == 0 ||
+         std::strncmp(Name, "prog-", 5) == 0;
 }
 
 /// \p Path's mtime, or 0 when unreadable.
@@ -321,7 +361,7 @@ size_t sweepDebris(const std::string &Dir, double MaxQuarantineAgeSeconds,
   while (const dirent *Entry = ::readdir(D)) {
     const char *Name = Entry->d_name;
     // Only debris derived from our own entry names is considered.
-    if (std::strncmp(Name, "suite-", 6) != 0)
+    if (!hasStorePrefix(Name))
       continue;
     std::string Path = Dir + "/" + Name;
     if (std::strstr(Name, ".pbt.tmp.")) {
@@ -396,12 +436,30 @@ uint64_t CacheStore::hashProgramSet(const std::vector<Program> &Programs) {
   return fnv1a(W.buffer().data(), W.buffer().size());
 }
 
+uint64_t CacheStore::hashProgram(const Program &Prog) {
+  BinaryWriter W;
+  writeProgram(W, Prog);
+  return fnv1a(W.buffer().data(), W.buffer().size());
+}
+
 uint64_t CacheStore::suiteKey(uint64_t ProgramSetHash,
                               const MachineConfig &Machine,
                               const TechniqueSpec &Tech,
                               uint64_t TypingSeed) {
   uint64_t Key = hashCombine(0x5B17CACE, FormatVersion);
   Key = hashCombine(Key, ProgramSetHash);
+  Key = hashCombine(Key, hashValue(Machine));
+  Key = hashCombine(Key, Tech.preparationHash());
+  return hashCombine(Key, TypingSeed);
+}
+
+uint64_t CacheStore::progKey(uint64_t ProgramHash,
+                             const MachineConfig &Machine,
+                             const TechniqueSpec &Tech,
+                             uint64_t TypingSeed) {
+  uint64_t Key = hashCombine(0x9B09CACE, ProgFormatVersion);
+  Key = hashCombine(Key, PipelineVersion);
+  Key = hashCombine(Key, ProgramHash);
   Key = hashCombine(Key, hashValue(Machine));
   Key = hashCombine(Key, Tech.preparationHash());
   return hashCombine(Key, TypingSeed);
@@ -414,6 +472,13 @@ std::string CacheStore::pathFor(uint64_t Key) const {
   return Dir + "/" + Name;
 }
 
+std::string CacheStore::progPathFor(uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "prog-%016llx.pbt",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Name;
+}
+
 std::string CacheStore::lockPathFor(uint64_t Key) const {
   char Name[32];
   std::snprintf(Name, sizeof(Name), "suite-%016llx.lck",
@@ -421,9 +486,21 @@ std::string CacheStore::lockPathFor(uint64_t Key) const {
   return Dir + "/" + Name;
 }
 
+std::string CacheStore::progLockPathFor(uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "prog-%016llx.lck",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Name;
+}
+
 std::string CacheStore::quarantinePathFor(uint64_t Key,
                                           const char *Reason) const {
   return pathFor(Key) + ".quarantined-" + Reason;
+}
+
+std::string CacheStore::progQuarantinePathFor(uint64_t Key,
+                                              const char *Reason) const {
+  return progPathFor(Key) + ".quarantined-" + Reason;
 }
 
 void CacheStore::setLockPolicy(unsigned MaxAttempts,
@@ -450,8 +527,11 @@ size_t CacheStore::cleanMismatchedVersions() {
   std::vector<std::string> Stale;
   while (const dirent *Entry = ::readdir(D)) {
     const char *Name = Entry->d_name;
-    // Only files this store wrote: "suite-<16 hex>.pbt".
-    if (!isEntryName(Name))
+    // Only files this store wrote: "suite-<16 hex>.pbt" manifests and
+    // "prog-<16 hex>.pbt" program entries, each against its own
+    // expected magic and version.
+    bool IsSuite = isSuiteEntryName(Name);
+    if (!IsSuite && !isProgEntryName(Name))
       continue;
     std::string Path = Dir + "/" + Name;
     // Only the first 8 header bytes matter (magic + version); entries
@@ -466,9 +546,9 @@ size_t CacheStore::cleanMismatchedVersions() {
     if (Got != sizeof(Hdr))
       continue; // Too short to carry a header; leave it.
     BinaryReader R(Hdr, sizeof(Hdr));
-    if (R.u32() != Magic)
+    if (R.u32() != (IsSuite ? Magic : ProgMagic))
       continue; // Not one of ours after all.
-    if (R.u32() != FormatVersion)
+    if (R.u32() != (IsSuite ? FormatVersion : ProgFormatVersion))
       Stale.push_back(std::move(Path));
   }
   ::closedir(D);
@@ -494,11 +574,12 @@ CacheStore::GcStats CacheStore::gc(uint64_t MaxBytes, double MaxAgeSeconds) {
   std::lock_guard<std::mutex> Lock(Mutex);
   GcStats Stats;
 
-  // Scan the directory for store entries: the same "suite-<16 hex>.pbt"
-  // + magic filter cleanMismatchedVersions uses, so foreign files are
-  // never touched. Sort by (mtime, path): mtime is the LRU clock
-  // (load() refreshes it on every hit), the path tie-break makes a
-  // pass deterministic for a given directory state.
+  // Scan the directory for store entries — suite manifests and prog
+  // entries alike, the same name + magic filter
+  // cleanMismatchedVersions uses, so foreign files are never touched.
+  // Sort by (mtime, path): mtime is the LRU clock (load() refreshes it,
+  // for every prog entry a manifest hit resolved too), the path
+  // tie-break makes a pass deterministic for a given directory state.
   struct Entry {
     time_t Mtime;
     uint64_t Bytes;
@@ -510,9 +591,8 @@ CacheStore::GcStats CacheStore::gc(uint64_t MaxBytes, double MaxAgeSeconds) {
     return Stats;
   while (const dirent *DirEntry = ::readdir(D)) {
     const char *Name = DirEntry->d_name;
-    size_t Len = std::strlen(Name);
-    if (Len != 26 || std::strncmp(Name, "suite-", 6) != 0 ||
-        std::strcmp(Name + Len - 4, ".pbt") != 0)
+    bool IsSuite = isSuiteEntryName(Name);
+    if (!IsSuite && !isProgEntryName(Name))
       continue;
     std::string Path = Dir + "/" + Name;
     char Hdr[4];
@@ -524,7 +604,7 @@ CacheStore::GcStats CacheStore::gc(uint64_t MaxBytes, double MaxAgeSeconds) {
     if (Got != sizeof(Hdr))
       continue;
     BinaryReader R(Hdr, sizeof(Hdr));
-    if (R.u32() != Magic)
+    if (R.u32() != (IsSuite ? Magic : ProgMagic))
       continue; // Not one of ours after all.
     struct stat St;
     if (::stat(Path.c_str(), &St) != 0)
@@ -614,11 +694,12 @@ CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
     return nullptr;
   }
 
-  // Parse and validate; Why names the first failed check and becomes
-  // the quarantine suffix, so a post-mortem can tell bit rot from a
-  // version skew from a hash collision at a glance.
+  // Parse and validate the manifest; Why names the first failed check
+  // and becomes the quarantine suffix, so a post-mortem can tell bit
+  // rot from a version skew from a hash collision at a glance.
   const char *Why = nullptr;
-  std::shared_ptr<const PreparedSuite> Suite;
+  std::vector<uint64_t> Hashes;
+  bool HaveManifest = false;
   BinaryReader R(Bytes);
   if (R.u32() != Magic) {
     Why = "magic";
@@ -648,26 +729,52 @@ CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
       Why = "checksum"; // Bit rot within the payload.
     else {
       BinaryReader Payload(Bytes.data() + HeaderBytes, H.PayloadSize);
-      Suite = readSuite(Payload, Machine, Tech);
-      if (!Suite)
+      Hashes = readManifest(Payload);
+      if (Payload.failed())
         Why = "payload"; // Checksummed bytes decode to nonsense.
+      else
+        HaveManifest = true;
     }
   }
 
-  if (Suite) {
-    ++Hits;
-    // Refresh the entry's mtime: it is the LRU clock gc() evicts by, so
-    // a hit must mark the entry recently used (best-effort — a failed
-    // touch only ages the entry).
-    ::utime(pathFor(Key).c_str(), nullptr);
-    return Suite;
+  if (HaveManifest) {
+    // Resolve every referenced prog entry. Any one missing or rejected
+    // degrades the whole request to a plain miss — the caller
+    // re-prepares (incrementally, through loadProgram probes of its
+    // own) and save() heals the gap.
+    auto Suite = std::make_shared<PreparedSuite>();
+    bool Complete = true;
+    for (uint64_t ProgHash : Hashes) {
+      PreparedProgram Prepared =
+          loadProgramImpl(ProgHash, Machine, Tech, TypingSeed);
+      if (!Prepared.Image) {
+        Complete = false;
+        break;
+      }
+      Suite->Names.push_back(Prepared.Image->program().Name);
+      Suite->Images.push_back(std::move(Prepared.Image));
+      Suite->Costs.push_back(std::move(Prepared.Cost));
+      Suite->Flats.push_back(std::move(Prepared.Flat));
+    }
+    if (Complete) {
+      ++Hits;
+      // Refresh the manifest's mtime: it is the LRU clock gc() evicts
+      // by, so a hit must mark the entry recently used (best-effort — a
+      // failed touch only ages the entry; the prog entries were touched
+      // by their own loads).
+      ::utime(pathFor(Key).c_str(), nullptr);
+      return Suite;
+    }
+    ++Misses;
+    return nullptr;
   }
 
-  // Rejected. Count a miss (the caller re-prepares) and quarantine the
-  // file so the next request sees a clean miss instead of re-parsing
-  // the same bad bytes — but only under an uncontended writer lock,
-  // and only if the bytes did not change underneath us (a concurrent
-  // save may already have replaced the entry with a healthy one).
+  // Manifest rejected. Count a miss (the caller re-prepares) and
+  // quarantine the file so the next request sees a clean miss instead
+  // of re-parsing the same bad bytes — but only under an uncontended
+  // writer lock, and only if the bytes did not change underneath us (a
+  // concurrent save may already have replaced the entry with a healthy
+  // one).
   ++Misses;
   ++Rejects;
   ReadLock.release();
@@ -682,13 +789,152 @@ CacheStore::load(uint64_t Key, uint64_t ProgramSetHash,
   return nullptr;
 }
 
+PreparedProgram CacheStore::loadProgram(uint64_t ProgramHash,
+                                        const MachineConfig &Machine,
+                                        const TechniqueSpec &Tech,
+                                        uint64_t TypingSeed) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return loadProgramImpl(ProgramHash, Machine, Tech, TypingSeed);
+}
+
+PreparedProgram CacheStore::loadProgramImpl(uint64_t ProgramHash,
+                                            const MachineConfig &Machine,
+                                            const TechniqueSpec &Tech,
+                                            uint64_t TypingSeed) {
+  PreparedProgram Out;
+  uint64_t Key = progKey(ProgramHash, Machine, Tech, TypingSeed);
+
+  // Same locking contract as the suite path: bounded shared lock,
+  // lockless fallback for read-only stores, timeout degrades to a miss.
+  FileLock ReadLock;
+  if (!ReadLock.acquire(progLockPathFor(Key), FileLock::Mode::Shared,
+                        LockMaxAttempts, LockRng, LockBaseDelayMicros) &&
+      !ReadLock.openFailed()) {
+    ++ProgMisses;
+    ++LockTimeouts;
+    return Out;
+  }
+
+  std::string Bytes;
+  if (!readFile(progPathFor(Key), Bytes)) {
+    ++ProgMisses; // Plain absence.
+    return Out;
+  }
+
+  const char *Why = nullptr;
+  BinaryReader R(Bytes);
+  if (R.u32() != ProgMagic) {
+    Why = "magic";
+  } else if (R.u32() != ProgFormatVersion) {
+    Why = "version";
+  } else {
+    Header H;
+    H.Key = R.u64();
+    H.ProgramSetHash = R.u64(); // The program's own content hash here.
+    H.MachineHash = R.u64();
+    H.PrepHash = R.u64();
+    H.TypingSeed = R.u64();
+    H.PayloadSize = R.u64();
+    H.Checksum = R.u64();
+    if (R.failed())
+      Why = "truncated";
+    else if (H.Key != Key || H.ProgramSetHash != ProgramHash ||
+             H.MachineHash != hashValue(Machine) ||
+             H.PrepHash != Tech.preparationHash() ||
+             H.TypingSeed != TypingSeed)
+      Why = "key";
+    else if (H.PayloadSize != Bytes.size() - HeaderBytes)
+      Why = "truncated";
+    else if (H.Checksum != fnv1a(Bytes.data() + HeaderBytes, H.PayloadSize))
+      Why = "checksum";
+    else {
+      BinaryReader Payload(Bytes.data() + HeaderBytes, H.PayloadSize);
+      Out = readPrepared(Payload, Machine, Tech);
+      if (Out.Image && Payload.remaining() != 0) {
+        Out = PreparedProgram();
+        Why = "payload";
+      } else if (!Out.Image) {
+        Why = "payload";
+      }
+    }
+  }
+
+  if (Out.Image) {
+    ++ProgHits;
+    ::utime(progPathFor(Key).c_str(), nullptr); // LRU touch.
+    return Out;
+  }
+
+  ++ProgMisses;
+  ++Rejects;
+  ReadLock.release();
+  FileLock WriteLock;
+  if (WriteLock.tryAcquire(progLockPathFor(Key),
+                           FileLock::Mode::Exclusive)) {
+    std::string Again;
+    if (readFile(progPathFor(Key), Again) && Again == Bytes &&
+        std::rename(progPathFor(Key).c_str(),
+                    progQuarantinePathFor(Key, Why).c_str()) == 0)
+      ++Quarantines;
+  }
+  return Out;
+}
+
 bool CacheStore::save(uint64_t Key, uint64_t ProgramSetHash,
                       const MachineConfig &Machine, const TechniqueSpec &Tech,
                       uint64_t TypingSeed, const PreparedSuite &Suite) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  BinaryWriter Payload;
-  writeSuite(Payload, Suite);
 
+  // First the per-program entries the manifest will reference. Entries
+  // already on disk are skipped: content addressing makes a same-key
+  // file identical by construction, and the skip is what dedupes
+  // programs shared across suites (and keeps an incremental save to
+  // "exactly the new benchmark" writes).
+  std::vector<uint64_t> Hashes;
+  Hashes.reserve(Suite.Images.size());
+  for (size_t I = 0; I < Suite.Images.size(); ++I) {
+    uint64_t ProgHash = hashProgram(Suite.Images[I]->program());
+    Hashes.push_back(ProgHash);
+    uint64_t PKey = progKey(ProgHash, Machine, Tech, TypingSeed);
+
+    struct stat St;
+    if (::stat(progPathFor(PKey).c_str(), &St) == 0)
+      continue; // Entry exists; identical by construction.
+
+    BinaryWriter Payload;
+    writePrepared(Payload, *Suite.Images[I], *Suite.Costs[I],
+                  *Suite.Flats[I]);
+    Header H;
+    H.Key = PKey;
+    H.ProgramSetHash = ProgHash; // The program's own content hash.
+    H.MachineHash = hashValue(Machine);
+    H.PrepHash = Tech.preparationHash();
+    H.TypingSeed = TypingSeed;
+    H.PayloadSize = Payload.buffer().size();
+    H.Checksum = fnv1a(Payload.buffer().data(), Payload.buffer().size());
+    BinaryWriter File;
+    writeHeader(File, ProgMagic, ProgFormatVersion, H);
+
+    FileLock ProgLock;
+    if (!ProgLock.acquire(progLockPathFor(PKey), FileLock::Mode::Exclusive,
+                          LockMaxAttempts, LockRng, LockBaseDelayMicros)) {
+      // Contended past the budget: whoever holds the lock is writing
+      // identical bytes, so trust them and move on (the manifest may
+      // briefly reference an in-flight entry; readers of a missing or
+      // partial entry just miss). Only real contention counts.
+      if (!ProgLock.openFailed())
+        ++LockTimeouts;
+      continue;
+    }
+    if (!writeFileAtomic(progPathFor(PKey),
+                         File.buffer() + Payload.buffer()))
+      return false; // The manifest must not reference a failed write.
+    ++ProgWrites;
+  }
+
+  // Then the manifest, the commit point of the whole save.
+  BinaryWriter Payload;
+  writeManifest(Payload, Hashes);
   Header H;
   H.Key = Key;
   H.ProgramSetHash = ProgramSetHash;
@@ -697,9 +943,8 @@ bool CacheStore::save(uint64_t Key, uint64_t ProgramSetHash,
   H.TypingSeed = TypingSeed;
   H.PayloadSize = Payload.buffer().size();
   H.Checksum = fnv1a(Payload.buffer().data(), Payload.buffer().size());
-
   BinaryWriter File;
-  writeHeader(File, H);
+  writeHeader(File, Magic, FormatVersion, H);
 
   // Exclusive writer lock, bounded: a key contended past the retry
   // budget just skips the write-back (the suite is still served from

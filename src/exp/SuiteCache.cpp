@@ -6,8 +6,11 @@
 
 #include "exp/SuiteCache.h"
 
+#include "analysis/PassManager.h"
 #include "exp/CacheStore.h"
 #include "support/Hashing.h"
+
+#include <stdexcept>
 
 using namespace pbt;
 using namespace pbt::exp;
@@ -22,6 +25,17 @@ uint64_t SuiteCache::programSetHash(const std::vector<Program> &Programs) {
     ProgramsHashed = true;
   }
   return ProgramsHash;
+}
+
+const std::vector<uint64_t> &
+SuiteCache::programHashes(const std::vector<Program> &Programs) {
+  if (!ProgramHashesComputed) {
+    ProgramHashes.reserve(Programs.size());
+    for (const Program &Prog : Programs)
+      ProgramHashes.push_back(CacheStore::hashProgram(Prog));
+    ProgramHashesComputed = true;
+  }
+  return ProgramHashes;
 }
 
 PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
@@ -52,22 +66,78 @@ PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
   // running the static pipeline; a fresh preparation is written back so
   // later processes (or labs over the same programs) skip it.
   uint64_t StoreKey = 0;
-  if (Store)
+  if (Store) {
     StoreKey = CacheStore::suiteKey(programSetHash(Programs), Machine, Tech,
                                     TypingSeed);
-  if (Store) {
     E.Suite = Store->load(StoreKey, programSetHash(Programs), Machine, Tech,
                           TypingSeed);
     if (E.Suite)
       ++StoreHits;
   }
+
+  if (!E.Suite && Store) {
+    // Manifest miss: assemble the suite incrementally. Probe the store
+    // per program and run the pipeline only over the programs it cannot
+    // serve — adding one benchmark to an otherwise-cached suite
+    // prepares exactly that benchmark, and programs shared with other
+    // suites are reused regardless of which suite wrote them.
+    const std::vector<uint64_t> &Hashes = programHashes(Programs);
+    std::vector<PreparedProgram> Parts(Programs.size());
+    std::vector<size_t> MissingIdx;
+    for (size_t I = 0; I < Programs.size(); ++I) {
+      Parts[I] = Store->loadProgram(Hashes[I], Machine, Tech, TypingSeed);
+      if (!Parts[I].Image)
+        MissingIdx.push_back(I);
+    }
+    ProgramStoreHits += Programs.size() - MissingIdx.size();
+
+    if (!MissingIdx.empty()) {
+      std::vector<Program> Todo;
+      Todo.reserve(MissingIdx.size());
+      for (size_t I : MissingIdx)
+        Todo.push_back(Programs[I]);
+      std::vector<PreparedProgram> Fresh =
+          preparePrograms(Todo, Machine, Tech, TypingSeed);
+      for (size_t J = 0; J < MissingIdx.size(); ++J)
+        Parts[MissingIdx[J]] = std::move(Fresh[J]);
+      ++Prepared;
+      PreparedPrograms += MissingIdx.size();
+    } else {
+      // Every program was already on disk (cross-suite dedupe); only
+      // the manifest is new. Served from the store, nothing prepared.
+      ++StoreHits;
+    }
+
+    auto Assembled = std::make_shared<PreparedSuite>();
+    for (size_t I = 0; I < Programs.size(); ++I) {
+      Assembled->Names.push_back(Programs[I].Name);
+      Assembled->Images.push_back(std::move(Parts[I].Image));
+      Assembled->Costs.push_back(std::move(Parts[I].Cost));
+      Assembled->Flats.push_back(std::move(Parts[I].Flat));
+    }
+    E.Suite = Assembled;
+    // Writes the prog entries the store was missing plus the manifest
+    // that makes the next load a whole-suite hit.
+    Store->save(StoreKey, programSetHash(Programs), Machine, Tech,
+                TypingSeed, *E.Suite);
+  }
+
+  // Freshly prepared programs are verified inside the pipeline when
+  // verify-IR is on; store-served artifacts get the same static audit
+  // here, so a corrupt or stale disk entry can never reach a
+  // simulation unchecked.
+  if (E.Suite && verifyIREnabled()) {
+    std::string Error;
+    if (!verifyPrepared(*E.Suite, Machine, &Error))
+      throw std::runtime_error("verify-ir: store-served suite failed: " +
+                               Error);
+  }
+
   if (!E.Suite) {
     ++Prepared;
+    PreparedPrograms += Programs.size();
     E.Suite = std::make_shared<const PreparedSuite>(
         prepareSuite(Programs, Machine, Tech, TypingSeed));
-    if (Store)
-      Store->save(StoreKey, programSetHash(Programs), Machine, Tech,
-                  TypingSeed, *E.Suite);
   }
 
   Bucket.push_back(E);
@@ -89,4 +159,6 @@ void SuiteCache::clear() {
   Misses = 0;
   StoreHits = 0;
   Prepared = 0;
+  PreparedPrograms = 0;
+  ProgramStoreHits = 0;
 }

@@ -22,6 +22,14 @@
 /// suites survive across processes. The disk tier keys on the program
 /// set too, so one store directory safely serves many labs.
 ///
+/// The disk tier is *module-granular*: when the whole-suite manifest
+/// misses, the cache probes the store per program
+/// (CacheStore::loadProgram) and runs the static pipeline only over the
+/// programs the store cannot serve — so adding one benchmark to an
+/// otherwise-cached suite prepares exactly that benchmark, and programs
+/// shared between suites (or labs) are prepared once ever
+/// (preparedPrograms() / programStoreHits() count this split).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PBT_EXP_SUITECACHE_H
@@ -71,10 +79,21 @@ public:
   /// Requests not in memory (storeHits() + prepared() of them were
   /// served from disk / freshly prepared, respectively).
   uint64_t misses() const { return Misses; }
-  /// Memory misses served from the persistent store.
+  /// Memory misses served entirely from the persistent store — via the
+  /// suite manifest, or assembled from per-program entries alone
+  /// (cross-suite dedupe: every program already on disk, only the
+  /// manifest was new).
   uint64_t storeHits() const { return StoreHits; }
-  /// Requests that had to run the static pipeline.
+  /// Requests that had to run the static pipeline for at least one
+  /// program.
   uint64_t prepared() const { return Prepared; }
+  /// Programs that went through the static pipeline (the incremental
+  /// counter: adding one benchmark to a warm suite raises this by
+  /// exactly one).
+  uint64_t preparedPrograms() const { return PreparedPrograms; }
+  /// Programs served from per-program store entries during incremental
+  /// assembly (manifest-level hits not included).
+  uint64_t programStoreHits() const { return ProgramStoreHits; }
   /// Distinct prepared suites currently held in memory.
   size_t size() const;
 
@@ -92,16 +111,24 @@ private:
   /// cache serves one fixed program set for its whole life).
   uint64_t programSetHash(const std::vector<Program> &Programs);
 
+  /// Per-program content hashes, memoized alongside programSetHash.
+  const std::vector<uint64_t> &
+  programHashes(const std::vector<Program> &Programs);
+
   /// Hash buckets hold entry lists so hash collisions fall back to exact
   /// comparison (samePreparation + machine equality + seed).
   std::unordered_map<uint64_t, std::vector<Entry>> Buckets;
   std::shared_ptr<CacheStore> Store;
   uint64_t ProgramsHash = 0;
   bool ProgramsHashed = false;
+  std::vector<uint64_t> ProgramHashes;
+  bool ProgramHashesComputed = false;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t StoreHits = 0;
   uint64_t Prepared = 0;
+  uint64_t PreparedPrograms = 0;
+  uint64_t ProgramStoreHits = 0;
 };
 
 } // namespace exp

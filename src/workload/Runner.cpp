@@ -7,6 +7,7 @@
 #include "workload/Runner.h"
 
 #include "analysis/BlockTyping.h"
+#include "analysis/PassManager.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -43,13 +44,6 @@ uint64_t pbt::hashValue(const TechniqueSpec &Tech) {
 }
 
 namespace {
-
-/// Prepared artifacts of one program (one index of the suite fan-out).
-struct PreparedProgram {
-  std::shared_ptr<const InstrumentedProgram> Image;
-  std::shared_ptr<const CostModel> Cost;
-  std::shared_ptr<const FlatImage> Flat;
-};
 
 /// The full static pipeline for one program: cost model, typing, marking,
 /// instrumentation, flat image. Pure function of its arguments, so the
@@ -88,13 +82,49 @@ PreparedProgram prepareOne(const Program &Prog, const MachineConfig &Machine,
 
 } // namespace
 
+std::vector<PreparedProgram>
+pbt::preparePrograms(const std::vector<Program> &Programs,
+                     const MachineConfig &Machine, const TechniqueSpec &Tech,
+                     uint64_t TypingSeed, ThreadPool *Pool) {
+  PipelineContext Ctx =
+      makePipelineContext(Programs, Machine, Tech, TypingSeed, Pool);
+  buildPreparationPipeline().run(Ctx);
+
+  std::vector<PreparedProgram> Out(Programs.size());
+  for (size_t Index = 0; Index < Programs.size(); ++Index) {
+    Out[Index].Image = std::move(Ctx.Programs[Index].Image);
+    Out[Index].Cost = std::move(Ctx.Programs[Index].Cost);
+    Out[Index].Flat = std::move(Ctx.Programs[Index].Flat);
+  }
+  return Out;
+}
+
 PreparedSuite pbt::prepareSuite(const std::vector<Program> &Programs,
                                 const MachineConfig &Machine,
                                 const TechniqueSpec &Tech,
                                 uint64_t TypingSeed, ThreadPool *Pool) {
-  // Fan the per-program pipelines out over the pool; each index is an
-  // independent pure computation, so results are bit-identical to the
-  // serial loop whatever the pool size or claim order.
+  std::vector<PreparedProgram> Prepared =
+      preparePrograms(Programs, Machine, Tech, TypingSeed, Pool);
+
+  PreparedSuite Suite;
+  Suite.Tuner = Tech.Tuner;
+  for (size_t Index = 0; Index < Programs.size(); ++Index) {
+    Suite.Names.push_back(Programs[Index].Name);
+    Suite.Images.push_back(std::move(Prepared[Index].Image));
+    Suite.Costs.push_back(std::move(Prepared[Index].Cost));
+    Suite.Flats.push_back(std::move(Prepared[Index].Flat));
+  }
+  return Suite;
+}
+
+PreparedSuite pbt::prepareSuiteMonolithic(const std::vector<Program> &Programs,
+                                          const MachineConfig &Machine,
+                                          const TechniqueSpec &Tech,
+                                          uint64_t TypingSeed,
+                                          ThreadPool *Pool) {
+  // The legacy path: one monolithic prepareOne per program, fanned out
+  // over the pool with by-index writes. Kept verbatim so tests can
+  // assert the pass-manager pipeline reproduces it bit for bit.
   std::vector<PreparedProgram> Prepared(Programs.size());
   ThreadPool &P = Pool ? *Pool : ThreadPool::global();
   P.parallelFor(Programs.size(), [&](size_t Index) {

@@ -108,16 +108,46 @@ struct PreparedSuite {
   TunerConfig Tuner;
 };
 
-/// Types + marks + instruments every program for \p Tech on \p Machine.
-/// \p TypingSeed drives k-means and error injection. The per-program
-/// pipelines are independent, so they fan out over \p Pool (the global
-/// thread pool when null); each program writes its results by index, so
-/// the suite is bit-identical to the serial loop regardless of pool size.
+/// Prepared artifacts of one program: the per-program slice of a
+/// PreparedSuite. The unit of incremental preparation — exp/SuiteCache
+/// stores and reloads these individually (`pbt-prog-v1` entries) and
+/// assembles suites from them.
+struct PreparedProgram {
+  std::shared_ptr<const InstrumentedProgram> Image;
+  std::shared_ptr<const CostModel> Cost;
+  std::shared_ptr<const FlatImage> Flat;
+};
+
+/// Runs the static preparation pipeline (analysis/PassManager.h) over
+/// \p Programs for \p Tech on \p Machine and returns one
+/// PreparedProgram per input, in input order. \p TypingSeed drives
+/// k-means and error injection. The per-program steps are independent,
+/// so they fan out over \p Pool (the global thread pool when null) with
+/// by-index writes: output is bit-identical to the serial loop
+/// regardless of pool size.
+std::vector<PreparedProgram>
+preparePrograms(const std::vector<Program> &Programs,
+                const MachineConfig &Machine, const TechniqueSpec &Tech,
+                uint64_t TypingSeed = 42, ThreadPool *Pool = nullptr);
+
+/// Types + marks + instruments every program for \p Tech on \p Machine
+/// by running the pass-manager pipeline (see preparePrograms) and
+/// assembling the results into a suite.
 PreparedSuite prepareSuite(const std::vector<Program> &Programs,
                            const MachineConfig &Machine,
                            const TechniqueSpec &Tech,
                            uint64_t TypingSeed = 42,
                            ThreadPool *Pool = nullptr);
+
+/// The pre-pass-manager monolithic pipeline, kept verbatim as the
+/// reference implementation for the promotion contract: tests assert
+/// prepareSuite output is bit-identical to this path. Not used by
+/// production code.
+PreparedSuite prepareSuiteMonolithic(const std::vector<Program> &Programs,
+                                     const MachineConfig &Machine,
+                                     const TechniqueSpec &Tech,
+                                     uint64_t TypingSeed = 42,
+                                     ThreadPool *Pool = nullptr);
 
 /// Isolated runtime t_i of each program: uninstrumented, alone on the
 /// machine, canonical branch seed. The per-program simulations are

@@ -7,6 +7,8 @@
 // of which the store must still load, rebuild transparently, and end up
 // byte-identical to a single quiet writer's output.
 
+#include "TestDirs.h"
+
 #include "exp/CacheStore.h"
 #include "exp/Harness.h"
 #include "exp/Shard.h"
@@ -31,6 +33,7 @@
 
 using namespace pbt;
 using namespace pbt::exp;
+using pbt_test::testCacheDir;
 
 namespace {
 
@@ -58,9 +61,9 @@ bool fileExists(const std::string &Path) {
   return readFile(Path, Bytes);
 }
 
-/// Removes every file inside \p Dir. Store directories here are relative
-/// paths in the build tree and survive across runs of this binary; each
-/// scenario must start from a genuinely empty store.
+/// Removes every file inside \p Dir. The scratch root is per-process,
+/// but a scenario must start from a genuinely empty store even under
+/// --gtest_repeat, where a second iteration revisits the same path.
 void wipeDir(const std::string &Dir) {
   DIR *D = ::opendir(Dir.c_str());
   if (!D)
@@ -89,14 +92,14 @@ size_t countMatching(const std::string &Dir, const char *Needle) {
 /// Everything a crash-point scenario needs, prepared once in the parent
 /// BEFORE any fork (children must not touch the thread pool).
 struct CrashRig {
-  explicit CrashRig(const char *DirName)
+  explicit CrashRig(const std::string &DirName)
       : DirName(DirName), Programs(tinySuite()),
         MC(MachineConfig::quadAsymmetric()), Tech(loopTechnique(60)),
         ProgramsHash(CacheStore::hashProgramSet(Programs)),
         Key(CacheStore::suiteKey(ProgramsHash, MC, Tech, 42)),
         Suite(prepareSuite(Programs, MC, Tech, 42)) {
     wipeDir(DirName);
-    wipeDir(std::string(DirName) + ".ref");
+    wipeDir(DirName + ".ref");
   }
 
   /// Forks a child that arms \p CrashPoint and calls save(); asserts it
@@ -121,17 +124,31 @@ struct CrashRig {
         << ": child must die AT the crash point";
   }
 
-  /// The reference bytes a quiet single writer produces for Key.
+  /// The manifest bytes a quiet single writer produces for Key (the
+  /// reference store lives beside the crash store and is populated on
+  /// first call).
   std::string referenceBytes() {
-    std::string RefDir = std::string(DirName) + ".ref";
-    CacheStore Ref(RefDir);
+    CacheStore Ref(DirName + ".ref");
     EXPECT_TRUE(Ref.save(Key, ProgramsHash, MC, Tech, 42, Suite));
     std::string Bytes;
     EXPECT_TRUE(readFile(Ref.pathFor(Key), Bytes));
     return Bytes;
   }
 
-  const char *DirName;
+  /// The reference store's bytes for program \p I's per-program entry
+  /// (referenceBytes() must have populated the reference store first).
+  std::string referenceProgBytes(size_t I) {
+    CacheStore Ref(DirName + ".ref");
+    std::string Bytes;
+    EXPECT_TRUE(readFile(
+        Ref.progPathFor(CacheStore::progKey(
+            CacheStore::hashProgram(Programs[I]), MC, Tech, 42)),
+        Bytes))
+        << "reference prog entry " << I;
+    return Bytes;
+  }
+
+  std::string DirName;
   std::vector<Program> Programs;
   MachineConfig MC;
   TechniqueSpec Tech;
@@ -152,8 +169,9 @@ struct CrashRig {
 // and torn renames: whatever happens to individual store operations,
 // the load-through cache must always come back with a usable suite.
 TEST(CacheStressTest, SurvivesEnvironmentFaults) {
-  wipeDir("stress_envfaults.cache");
-  auto Store = std::make_shared<CacheStore>("stress_envfaults.cache");
+  std::string EnvDir = testCacheDir("stress_envfaults.cache");
+  wipeDir(EnvDir);
+  auto Store = std::make_shared<CacheStore>(EnvDir);
   std::vector<Program> Programs = tinySuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   TechniqueSpec Tech = loopTechnique(58);
@@ -174,7 +192,7 @@ TEST(CacheStressTest, SurvivesEnvironmentFaults) {
 // torn temp is swept at the next construction, and a rebuild produces
 // byte-identical output.
 TEST(CacheStressTest, CrashMidWriteLeavesRecoverableStore) {
-  CrashRig Rig("stress_crash_midwrite.cache");
+  CrashRig Rig(testCacheDir("stress_crash_midwrite.cache"));
   std::string Reference = Rig.referenceBytes();
   Rig.crashChildAt("atomic.mid_write");
 
@@ -197,7 +215,7 @@ TEST(CacheStressTest, CrashMidWriteLeavesRecoverableStore) {
 // A child dies between the temp fsync and the rename: same contract —
 // the destination is atomic-or-absent.
 TEST(CacheStressTest, CrashBeforeRenameLeavesNoEntry) {
-  CrashRig Rig("stress_crash_prerename.cache");
+  CrashRig Rig(testCacheDir("stress_crash_prerename.cache"));
   Rig.crashChildAt("atomic.before_rename");
 
   CacheStore After(Rig.DirName);
@@ -207,27 +225,48 @@ TEST(CacheStressTest, CrashBeforeRenameLeavesNoEntry) {
   EXPECT_EQ(After.rejects(), 0u);
 }
 
-// A child dies right AFTER the rename: the entry is complete and must
-// load bit-identically — the whole point of fsync-before-rename.
+// A child dies right AFTER the first rename of the save — which, under
+// module-granular addressing, commits the first program's entry, not
+// the manifest. That entry is complete and byte-identical to a quiet
+// writer's (the point of fsync-before-rename); the suite itself is a
+// clean miss (the manifest never landed), and a rebuild reuses the
+// durable prog entry and converges to the reference bytes.
 TEST(CacheStressTest, CrashAfterRenameLeavesCompleteEntry) {
-  CrashRig Rig("stress_crash_postrename.cache");
+  CrashRig Rig(testCacheDir("stress_crash_postrename.cache"));
   std::string Reference = Rig.referenceBytes();
   Rig.crashChildAt("atomic.after_rename");
 
   CacheStore After(Rig.DirName);
+  std::string FirstProgPath = After.progPathFor(CacheStore::progKey(
+      CacheStore::hashProgram(Rig.Programs[0]), Rig.MC, Rig.Tech, 42));
+  std::string ProgBytes;
+  ASSERT_TRUE(readFile(FirstProgPath, ProgBytes))
+      << "renamed prog entry survives the crash";
+  EXPECT_EQ(ProgBytes, Rig.referenceProgBytes(0))
+      << "completed prog entry is byte-identical to a quiet writer's";
+  EXPECT_TRUE(After.load(Rig.Key, Rig.ProgramsHash, Rig.MC, Rig.Tech,
+                         42) == nullptr)
+      << "no manifest yet: the suite is a clean miss";
+  EXPECT_EQ(After.rejects(), 0u);
+
+  // Rebuild: the durable prog entry is reused (exists-skip), the rest
+  // is written, and the manifest matches the quiet single writer's.
+  ASSERT_TRUE(After.save(Rig.Key, Rig.ProgramsHash, Rig.MC, Rig.Tech, 42,
+                         Rig.Suite));
+  EXPECT_EQ(After.progWrites(), Rig.Programs.size() - 1)
+      << "the crash's surviving entry must not be rewritten";
   std::string Bytes;
   ASSERT_TRUE(readFile(After.pathFor(Rig.Key), Bytes));
-  EXPECT_EQ(Bytes, Reference) << "completed entry survives the crash";
+  EXPECT_EQ(Bytes, Reference);
   EXPECT_TRUE(After.load(Rig.Key, Rig.ProgramsHash, Rig.MC, Rig.Tech,
                          42) != nullptr);
-  EXPECT_EQ(After.rejects(), 0u);
 }
 
 // A child dies while HOLDING the exclusive writer flock: the kernel
 // must release the lock with the process, so the store never sees a
 // stale lock — readers and writers proceed immediately.
 TEST(CacheStressTest, CrashWhileHoldingLockStrandsNothing) {
-  CrashRig Rig("stress_crash_locked.cache");
+  CrashRig Rig(testCacheDir("stress_crash_locked.cache"));
   Rig.crashChildAt("store.locked");
 
   CacheStore After(Rig.DirName);
@@ -243,7 +282,7 @@ TEST(CacheStressTest, CrashWhileHoldingLockStrandsNothing) {
 // A child dies after the full save: everything is durable; a second
 // process simply hits.
 TEST(CacheStressTest, CrashAfterSaveIsInvisible) {
-  CrashRig Rig("stress_crash_saved.cache");
+  CrashRig Rig(testCacheDir("stress_crash_saved.cache"));
   std::string Reference = Rig.referenceBytes();
   Rig.crashChildAt("store.saved");
 
@@ -265,7 +304,7 @@ TEST(CacheStressTest, CrashAfterSaveIsInvisible) {
 // recover to entries BYTE-IDENTICAL to a quiet single writer's, with no
 // temp debris left behind.
 TEST(CacheStressTest, MultiProcessHammerConvergesToReferenceBytes) {
-  const char *DirName = "stress_hammer.cache";
+  std::string DirName = testCacheDir("stress_hammer.cache");
   CrashRig Rig(DirName); // Reuses the rig for key/suite plumbing.
   TechniqueSpec SecondTech = loopTechnique(61);
   uint64_t SecondKey =
@@ -430,9 +469,9 @@ bool runStressShard(uint32_t K, uint32_t N, const std::string &FabricDir) {
 // against the same — by then scarred — cache directory: concurrency and
 // fault degradation may cost cache misses, never artifact drift.
 TEST(CacheStressTest, ShardedDriversRacingOneCacheMergeByteIdentical) {
-  const char *CacheDir = "stress_shard.cache";
-  const std::string Fabric = "stress_shard.fabric";
-  const std::string Out = "stress_shard.merged";
+  const std::string CacheDir = testCacheDir("stress_shard.cache");
+  const std::string Fabric = testCacheDir("stress_shard.fabric");
+  const std::string Out = testCacheDir("stress_shard.merged");
   wipeDir(CacheDir);
   wipeDir(Fabric);
   wipeDir(Out);
@@ -440,7 +479,7 @@ TEST(CacheStressTest, ShardedDriversRacingOneCacheMergeByteIdentical) {
   ::mkdir(Out.c_str(), 0755);
   // Must precede any Lab construction in this process: the process-wide
   // store (CacheStore::fromEnv) latches PBT_CACHE_DIR on first use.
-  ASSERT_EQ(::setenv("PBT_CACHE_DIR", CacheDir, 1), 0);
+  ASSERT_EQ(::setenv("PBT_CACHE_DIR", CacheDir.c_str(), 1), 0);
 
   constexpr uint32_t N = 4;
   std::vector<pid_t> Children;

@@ -1,6 +1,7 @@
 //===- tests/exp_test.cpp - experiment harness: cache, sweeps, parallel ---===//
 
 #include "RunIdentity.h"
+#include "TestDirs.h"
 
 #include "exp/CacheStore.h"
 #include "exp/Harness.h"
@@ -14,14 +15,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <iterator>
 #include <thread>
 #include <utime.h>
 
 using namespace pbt;
 using namespace pbt::exp;
+using pbt_test::testCacheDir;
 
 namespace {
 
@@ -332,7 +336,7 @@ TEST(SweepTest, SchedulerAxisEnumeratesWithoutExtraPreparation) {
 // a persistent store must replay entirely from cached suites —
 // prepared() == 0, storeHits() > 0 — in a cold lab.
 TEST(SweepTest, SchedulerOnlySweepServedFromStore) {
-  auto Store = std::make_shared<CacheStore>("exp_test_schedaxis.cache");
+  auto Store = std::make_shared<CacheStore>(testCacheDir("exp_test_schedaxis.cache"));
   SweepGrid G;
   G.Techniques = {TechniqueSpec::baseline()};
   G.Schedulers = {SchedulerSpec::oblivious(), SchedulerSpec::fastestFirst(),
@@ -527,7 +531,7 @@ void expectTablesBitIdentical(const PreparedSuite &A,
 // record and cycle-table double — and must replay workloads with
 // bit-identical results.
 TEST(CacheStoreTest, RoundTripBitIdentical) {
-  CacheStore Store("exp_test_roundtrip.cache");
+  CacheStore Store(testCacheDir("exp_test_roundtrip.cache"));
   std::vector<Program> Programs = randomPrograms(31, 5);
   MachineConfig MC = MachineConfig::quadAsymmetric();
   uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
@@ -559,7 +563,7 @@ TEST(CacheStoreTest, RoundTripBitIdentical) {
 }
 
 TEST(CacheStoreTest, VersionMismatchRejected) {
-  CacheStore Store("exp_test_version.cache");
+  CacheStore Store(testCacheDir("exp_test_version.cache"));
   std::vector<Program> Programs = smallSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   TechniqueSpec Tech = loopTechnique();
@@ -579,7 +583,7 @@ TEST(CacheStoreTest, VersionMismatchRejected) {
 }
 
 TEST(CacheStoreTest, TruncatedAndCorruptFilesRejected) {
-  CacheStore Store("exp_test_corrupt.cache");
+  CacheStore Store(testCacheDir("exp_test_corrupt.cache"));
   std::vector<Program> Programs = smallSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   TechniqueSpec Tech = loopTechnique();
@@ -613,7 +617,7 @@ TEST(CacheStoreTest, TruncatedAndCorruptFilesRejected) {
 // --clean-cache's helper: only entries carrying a foreign format
 // version are deleted; current entries and non-store files survive.
 TEST(CacheStoreTest, CleanMismatchedVersionsRemovesOnlyStaleEntries) {
-  CacheStore Store("exp_test_clean.cache");
+  CacheStore Store(testCacheDir("exp_test_clean.cache"));
   std::vector<Program> Programs = smallSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   TechniqueSpec Tech = loopTechnique();
@@ -655,23 +659,56 @@ uint64_t fileBytes(const std::string &Path) {
   return readFile(Path, Bytes) ? Bytes.size() : 0;
 }
 
-/// Three distinct entries in a fresh GC-test store, oldest first.
-/// Returns their paths; entry I's mtime is (3 - I) hours ago.
-std::vector<std::string> populateGcStore(CacheStore &Store) {
+/// Every store entry file (suite manifest or prog entry) currently in
+/// \p Dir, sorted for deterministic diffs.
+std::vector<std::string> listEntryFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (const dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".pbt") == 0)
+        Files.push_back(Dir + "/" + Name);
+    }
+    ::closedir(D);
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+uint64_t groupBytes(const std::vector<std::string> &Paths) {
+  uint64_t N = 0;
+  for (const std::string &P : Paths)
+    N += fileBytes(P);
+  return N;
+}
+
+/// Three distinct suites in a fresh GC-test store, oldest first. A save
+/// produces a file *group* — one manifest plus a prog entry per program
+/// — and gc treats each file as an entry, so each element holds all of
+/// one save's files, aged together: suite I's mtime is (3 - I) hours
+/// ago.
+std::vector<std::vector<std::string>> populateGcStore(CacheStore &Store) {
   std::vector<Program> Programs = smallSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
-  std::vector<std::string> Paths;
+  std::vector<std::vector<std::string>> Groups;
+  std::vector<std::string> Before;
   for (uint32_t I = 0; I < 3; ++I) {
     TechniqueSpec Tech = loopTechnique();
     Tech.Transition.MinSize = 40 + I; // Distinct preparations.
     uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Tech, 42);
     EXPECT_TRUE(Store.save(Key, ProgramsHash, MC, Tech, 42,
                            prepareSuite(Programs, MC, Tech, 42)));
-    Paths.push_back(Store.pathFor(Key));
-    setFileAge(Paths.back(), (3 - I) * 3600L);
+    std::vector<std::string> After = listEntryFiles(Store.dir());
+    std::vector<std::string> Fresh;
+    std::set_difference(After.begin(), After.end(), Before.begin(),
+                        Before.end(), std::back_inserter(Fresh));
+    for (const std::string &Path : Fresh)
+      setFileAge(Path, (3 - I) * 3600L);
+    Groups.push_back(std::move(Fresh));
+    Before = std::move(After);
   }
-  return Paths;
+  return Groups;
 }
 
 bool fileExists(const std::string &Path) {
@@ -679,58 +716,69 @@ bool fileExists(const std::string &Path) {
   return readFile(Path, Bytes);
 }
 
+void expectGroup(const std::vector<std::string> &Paths, bool Present,
+                 const char *Why) {
+  for (const std::string &P : Paths)
+    EXPECT_EQ(fileExists(P), Present) << P << ": " << Why;
+}
+
 } // namespace
 
 // Size-bound GC evicts least-recently-used entries first and stops as
-// soon as the store fits the budget.
+// soon as the store fits the budget. Eviction is per file, but mtimes
+// move per save group (the manifest and its prog entries age together),
+// so a whole suite is the natural LRU victim.
 TEST(CacheStoreTest, GcEvictsLeastRecentlyUsedBeyondSizeBudget) {
-  CacheStore Store("exp_test_gc_size.cache");
-  std::vector<std::string> Paths = populateGcStore(Store);
-  ASSERT_EQ(Paths.size(), 3u);
+  CacheStore Store(testCacheDir("exp_test_gc_size.cache"));
+  std::vector<std::vector<std::string>> Groups = populateGcStore(Store);
+  ASSERT_EQ(Groups.size(), 3u);
+  size_t TotalFiles = Groups[0].size() + Groups[1].size() + Groups[2].size();
 
-  // Budget exactly fits the two newest entries: only the oldest goes.
-  uint64_t Budget = fileBytes(Paths[1]) + fileBytes(Paths[2]);
+  // Budget exactly fits the two newest suites: only the oldest group
+  // (its manifest and every prog entry) goes.
+  uint64_t Budget = groupBytes(Groups[1]) + groupBytes(Groups[2]);
   CacheStore::GcStats Stats = Store.gc(Budget);
-  EXPECT_EQ(Stats.Scanned, 3u);
-  EXPECT_EQ(Stats.Evicted, 1u);
+  EXPECT_EQ(Stats.Scanned, TotalFiles);
+  EXPECT_EQ(Stats.Evicted, Groups[0].size());
   EXPECT_GT(Stats.BytesEvicted, 0u);
-  EXPECT_FALSE(fileExists(Paths[0])) << "LRU entry must be evicted";
-  EXPECT_TRUE(fileExists(Paths[1]));
-  EXPECT_TRUE(fileExists(Paths[2]));
+  expectGroup(Groups[0], false, "LRU suite must be evicted");
+  expectGroup(Groups[1], true, "newer suite survives");
+  expectGroup(Groups[2], true, "newest suite survives");
 
   // An unbounded pass (no size, no age) evicts nothing.
   Stats = Store.gc(/*MaxBytes=*/0);
   EXPECT_EQ(Stats.Evicted, 0u);
-  EXPECT_EQ(Stats.Scanned, 2u);
+  EXPECT_EQ(Stats.Scanned, TotalFiles - Groups[0].size());
 }
 
 // Age-bound GC evicts every entry older than the cutoff, even when the
 // size budget is satisfied; foreign files are never touched.
 TEST(CacheStoreTest, GcAgeBoundEvictsOldEntriesOnly) {
-  CacheStore Store("exp_test_gc_age.cache");
-  std::vector<std::string> Paths = populateGcStore(Store);
+  CacheStore Store(testCacheDir("exp_test_gc_age.cache"));
+  std::vector<std::vector<std::string>> Groups = populateGcStore(Store);
   std::string ForeignPath = Store.dir() + "/suite-0000000000000000.txt";
   ASSERT_TRUE(writeFileAtomic(ForeignPath, "not a store file"));
 
-  // Cutoff at 2.5 hours: the 3-hour entry goes, the 2- and 1-hour
-  // entries stay.
+  // Cutoff at 2.5 hours: the 3-hour suite (manifest + prog entries)
+  // goes, the 2- and 1-hour suites stay.
   CacheStore::GcStats Stats = Store.gc(/*MaxBytes=*/0,
                                        /*MaxAgeSeconds=*/2.5 * 3600);
-  EXPECT_EQ(Stats.Evicted, 1u);
-  EXPECT_FALSE(fileExists(Paths[0]));
-  EXPECT_TRUE(fileExists(Paths[1]));
-  EXPECT_TRUE(fileExists(Paths[2]));
+  EXPECT_EQ(Stats.Evicted, Groups[0].size());
+  expectGroup(Groups[0], false, "suite beyond the age cutoff evicted");
+  expectGroup(Groups[1], true, "younger suite stays");
+  expectGroup(Groups[2], true, "youngest suite stays");
   EXPECT_TRUE(fileExists(ForeignPath)) << "foreign file untouched";
   std::remove(ForeignPath.c_str());
 }
 
-// load() refreshes the entry's mtime, so a hit protects an entry from
-// the next GC pass — the property that makes mtime an LRU clock.
+// load() refreshes the mtime of the manifest *and* every prog entry it
+// resolves, so a hit protects the whole suite group from the next GC
+// pass — the property that makes mtime an LRU clock.
 TEST(CacheStoreTest, LoadRefreshesLruRecency) {
-  CacheStore Store("exp_test_gc_lru.cache");
-  std::vector<std::string> Paths = populateGcStore(Store);
+  CacheStore Store(testCacheDir("exp_test_gc_lru.cache"));
+  std::vector<std::vector<std::string>> Groups = populateGcStore(Store);
 
-  // Touch the oldest entry through a real load.
+  // Touch the oldest suite through a real load.
   std::vector<Program> Programs = smallSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
   uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
@@ -739,31 +787,26 @@ TEST(CacheStoreTest, LoadRefreshesLruRecency) {
   uint64_t Key = CacheStore::suiteKey(ProgramsHash, MC, Oldest, 42);
   ASSERT_TRUE(Store.load(Key, ProgramsHash, MC, Oldest, 42) != nullptr);
 
-  // A budget fitting two entries must now evict Paths[1] (MinSize 41,
-  // the new LRU), not the freshly used Paths[0].
-  uint64_t Budget = fileBytes(Paths[0]) + fileBytes(Paths[2]);
+  // A budget fitting two suites must now evict Groups[1] (MinSize 41,
+  // the new LRU), not the freshly used Groups[0].
+  uint64_t Budget = groupBytes(Groups[0]) + groupBytes(Groups[2]);
   CacheStore::GcStats Stats = Store.gc(Budget);
-  EXPECT_EQ(Stats.Evicted, 1u);
-  EXPECT_TRUE(fileExists(Paths[0])) << "recently hit entry survives";
-  EXPECT_FALSE(fileExists(Paths[1])) << "unused entry is the LRU victim";
-  EXPECT_TRUE(fileExists(Paths[2]));
+  EXPECT_EQ(Stats.Evicted, Groups[1].size());
+  expectGroup(Groups[0], true, "recently hit suite survives");
+  expectGroup(Groups[1], false, "unused suite is the LRU victim");
+  expectGroup(Groups[2], true, "newest suite survives");
 }
 
 // A SuiteCache with an attached store serves cross-"process" requests
 // (modeled as a second, cold SuiteCache over the same directory) from
 // disk without re-running the static pipeline.
 TEST(CacheStoreTest, SuiteCacheLoadThrough) {
-  auto Store = std::make_shared<CacheStore>("exp_test_loadthrough.cache");
-  // Unique technique so entries from previous test runs can't satisfy
-  // the first request.
+  auto Store = std::make_shared<CacheStore>(
+      testCacheDir("exp_test_loadthrough.cache"));
   TechniqueSpec Tech = loopTechnique(0.2);
   Tech.Transition.MinSize = 44;
   std::vector<Program> Programs = smallSuite();
   MachineConfig MC = MachineConfig::quadAsymmetric();
-  uint64_t ProgramsHash = CacheStore::hashProgramSet(Programs);
-  std::remove(
-      Store->pathFor(CacheStore::suiteKey(ProgramsHash, MC, Tech, 42))
-          .c_str());
 
   SuiteCache First;
   First.setStore(Store);

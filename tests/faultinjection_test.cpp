@@ -6,6 +6,8 @@
 // under concurrent-evictor races and held locks; the stale-debris
 // sweeps; and bounded lock acquisition degrading to misses.
 
+#include "TestDirs.h"
+
 #include "exp/CacheStore.h"
 #include "exp/SuiteCache.h"
 #include "support/Binary.h"
@@ -26,6 +28,7 @@
 
 using namespace pbt;
 using namespace pbt::exp;
+using pbt_test::testCacheDir;
 
 namespace {
 
@@ -54,9 +57,9 @@ bool fileExists(const std::string &Path) {
   return readFile(Path, Bytes);
 }
 
-/// Removes every file inside \p Dir. Store directories here are relative
-/// paths in the build tree and survive across runs of this binary; each
-/// rig must start from a genuinely empty store.
+/// Removes every file inside \p Dir. The scratch root is per-process,
+/// but a rig must start from a genuinely empty store even under
+/// --gtest_repeat, where a second iteration revisits the same path.
 void wipeDir(const std::string &Dir) {
   DIR *D = ::opendir(Dir.c_str());
   if (!D)
@@ -84,7 +87,7 @@ struct FaultScope {
 
 /// A store with one saved entry for key-corruption experiments.
 struct StoreRig {
-  explicit StoreRig(const char *DirName, unsigned MinSize = 40)
+  explicit StoreRig(const std::string &DirName, unsigned MinSize = 40)
       : Store(DirName), Programs(tinySuite()),
         MC(MachineConfig::quadAsymmetric()), Tech(loopTechnique(MinSize)),
         ProgramsHash(CacheStore::hashProgramSet(Programs)),
@@ -188,9 +191,10 @@ TEST(FaultInjectionTest, InjectedEioFailsWriteCleanly) {
   FaultConfig C;
   C.EioP = 1;
   FaultInjection::instance().configure(C);
-  EXPECT_FALSE(writeFileAtomic("fi_eio_target.bin", "payload"));
+  std::string Target = testCacheDir("fi_eio_target.bin");
+  EXPECT_FALSE(writeFileAtomic(Target, "payload"));
   FaultInjection::instance().reset();
-  EXPECT_FALSE(fileExists("fi_eio_target.bin"));
+  EXPECT_FALSE(fileExists(Target));
 }
 
 TEST(FaultInjectionTest, ShortWriteLeavesTornTempNeverDestination) {
@@ -199,14 +203,14 @@ TEST(FaultInjectionTest, ShortWriteLeavesTornTempNeverDestination) {
   C.ShortWriteP = 1;
   FaultInjection::instance().configure(C);
   std::string Data(1000, 'x');
-  EXPECT_FALSE(writeFileAtomic("fi_short_target.bin", Data));
+  std::string Target = testCacheDir("fi_short_target.bin");
+  EXPECT_FALSE(writeFileAtomic(Target, Data));
   FaultInjection::instance().reset();
 
   // The destination never appeared; the torn temp did, holding exactly
   // the first half (what a crash mid-write leaves behind).
-  EXPECT_FALSE(fileExists("fi_short_target.bin"));
-  std::string Tmp =
-      "fi_short_target.bin.tmp." + std::to_string(::getpid());
+  EXPECT_FALSE(fileExists(Target));
+  std::string Tmp = Target + ".tmp." + std::to_string(::getpid());
   std::string Torn;
   ASSERT_TRUE(readFile(Tmp, Torn));
   EXPECT_EQ(Torn.size(), Data.size() / 2);
@@ -215,7 +219,7 @@ TEST(FaultInjectionTest, ShortWriteLeavesTornTempNeverDestination) {
 
 TEST(FaultInjectionTest, TornRenameIsQuarantinedThenRebuilt) {
   FaultScope Scope;
-  StoreRig Rig("fi_torn.cache", 47);
+  StoreRig Rig(testCacheDir("fi_torn.cache"), 47);
   ASSERT_TRUE(Rig.load() != nullptr);
 
   // Re-save under a torn rename: the writer believes it succeeded, but
@@ -234,14 +238,19 @@ TEST(FaultInjectionTest, TornRenameIsQuarantinedThenRebuilt) {
   EXPECT_TRUE(fileExists(
       Rig.Store.quarantinePathFor(Rig.Key, "truncated")));
 
-  // A load-through cache transparently rebuilds the entry...
+  // A load-through cache transparently rebuilds the entry. Only the
+  // manifest was torn; the per-program entries are intact, so the
+  // rebuild reassembles the suite from them without running the static
+  // pipeline at all — incremental healing, counted as a store hit.
   SuiteCache Cache;
   // (shared_ptr with a no-op deleter: the rig owns the store)
   Cache.setStore(std::shared_ptr<CacheStore>(
       std::shared_ptr<CacheStore>(), &Rig.Store));
   Cache.get(Rig.Programs, Rig.MC, Rig.Tech);
-  EXPECT_EQ(Cache.prepared(), 1u);
-  // ...and the store is healthy again.
+  EXPECT_EQ(Cache.prepared(), 0u);
+  EXPECT_EQ(Cache.storeHits(), 1u);
+  EXPECT_EQ(Cache.programStoreHits(), Rig.Programs.size());
+  // ...and the store is healthy again: the rebuild rewrote the manifest.
   EXPECT_TRUE(Rig.load() != nullptr);
 }
 
@@ -252,7 +261,7 @@ TEST(FaultInjectionTest, TornRenameIsQuarantinedThenRebuilt) {
 
 TEST(FaultInjectionTest, EveryRejectReasonQuarantinesAndRecovers) {
   FaultScope Scope;
-  StoreRig Rig("fi_quarantine.cache", 48);
+  StoreRig Rig(testCacheDir("fi_quarantine.cache"), 48);
   std::string Path = Rig.Store.pathFor(Rig.Key);
   std::string Good;
   ASSERT_TRUE(readFile(Path, Good));
@@ -347,7 +356,7 @@ TEST(FaultInjectionTest, EveryRejectReasonQuarantinesAndRecovers) {
 
 TEST(FaultInjectionTest, GcToleratesEntriesVanishingUnderneath) {
   FaultScope Scope;
-  StoreRig Rig("fi_gc_vanish.cache", 50);
+  StoreRig Rig(testCacheDir("fi_gc_vanish.cache"), 50);
   std::string Path = Rig.Store.pathFor(Rig.Key);
   setFileAge(Path, 2 * 3600L);
 
@@ -360,14 +369,16 @@ TEST(FaultInjectionTest, GcToleratesEntriesVanishingUnderneath) {
   CacheStore::GcStats Stats = Rig.Store.gc(/*MaxBytes=*/0,
                                            /*MaxAgeSeconds=*/3600);
   FaultInjection::instance().reset();
-  EXPECT_EQ(Stats.Scanned, 1u);
+  // The scan sees the manifest plus one prog entry per program; only
+  // the aged manifest was an eviction candidate.
+  EXPECT_EQ(Stats.Scanned, 1u + Rig.Programs.size());
   EXPECT_EQ(Stats.Evicted, 0u) << "the race winner gets the credit";
   EXPECT_FALSE(fileExists(Path));
 }
 
 TEST(FaultInjectionTest, GcSkipsEntriesHeldByLiveProcesses) {
   FaultScope Scope;
-  StoreRig Rig("fi_gc_locked.cache", 51);
+  StoreRig Rig(testCacheDir("fi_gc_locked.cache"), 51);
   TechniqueSpec OtherTech = loopTechnique(52);
   uint64_t OtherKey =
       CacheStore::suiteKey(Rig.ProgramsHash, Rig.MC, OtherTech, 42);
@@ -396,7 +407,7 @@ TEST(FaultInjectionTest, GcSkipsEntriesHeldByLiveProcesses) {
 
 TEST(FaultInjectionTest, SweepCollectsDeadWritersAndOldQuarantines) {
   FaultScope Scope;
-  CacheStore Store("fi_sweep.cache");
+  CacheStore Store(testCacheDir("fi_sweep.cache"));
 
   // Debris: a temp from a dead writer (impossible pid), a temp from a
   // LIVE writer (our own pid, fresh), an old quarantine, and a fresh
@@ -430,7 +441,7 @@ TEST(FaultInjectionTest, SweepCollectsDeadWritersAndOldQuarantines) {
 
 TEST(FaultInjectionTest, GcCollectsOrphanedLockFiles) {
   FaultScope Scope;
-  StoreRig Rig("fi_gc_orphan.cache", 53);
+  StoreRig Rig(testCacheDir("fi_gc_orphan.cache"), 53);
   // load+save left a lock file beside the entry; it must survive gc
   // while its entry lives...
   std::string LockPath = Rig.Store.lockPathFor(Rig.Key);
@@ -453,7 +464,7 @@ TEST(FaultInjectionTest, GcCollectsOrphanedLockFiles) {
 
 TEST(FaultInjectionTest, ContendedLockDegradesToMissAndSkippedWrite) {
   FaultScope Scope;
-  StoreRig Rig("fi_lock_timeout.cache", 54);
+  StoreRig Rig(testCacheDir("fi_lock_timeout.cache"), 54);
   Rig.Store.setLockPolicy(/*MaxAttempts=*/3, /*BaseDelayMicros=*/10);
 
   // An exclusive holder (another descriptor = another process, under
@@ -488,21 +499,22 @@ TEST(FaultInjectionTest, LockOpenFailureIsDistinguishedFromContention) {
 
   // Plain contention: the file opened fine, only the flock stayed held.
   FileLock Holder;
-  ASSERT_TRUE(Holder.tryAcquire("fi_contended.lck",
+  std::string Contended = testCacheDir("fi_contended.lck");
+  ASSERT_TRUE(Holder.tryAcquire(Contended,
                                 FileLock::Mode::Exclusive));
   FileLock Contender;
-  EXPECT_FALSE(Contender.acquire("fi_contended.lck",
+  EXPECT_FALSE(Contender.acquire(Contended,
                                  FileLock::Mode::Exclusive,
                                  /*MaxAttempts=*/2, Jitter,
                                  /*BaseDelayMicros=*/1));
   EXPECT_FALSE(Contender.openFailed());
   Holder.release();
-  std::remove("fi_contended.lck");
+  std::remove(Contended.c_str());
 }
 
 TEST(FaultInjectionTest, UnopenableLockFileFallsBackToLocklessRead) {
   FaultScope Scope;
-  StoreRig Rig("fi_lock_open.cache", 55);
+  StoreRig Rig(testCacheDir("fi_lock_open.cache"), 55);
 
   // Every lock-file open fails from here on — the in-process model of
   // a read-only team-prebuilt PBT_CACHE_DIR, where the .lck files can

@@ -1,0 +1,433 @@
+//===- tests/incremental_test.cpp - per-program incremental store ---------===//
+//
+// The incremental half of the persistent cache: `pbt-prog-v1` entries
+// round-trip bit-identically, adding one benchmark to a cached suite
+// re-prepares exactly that benchmark, programs dedupe across suites,
+// corrupt prog entries quarantine and heal, and gc/version cleanup
+// treat prog entries as first-class store citizens.
+
+#include "TestDirs.h"
+
+#include "exp/CacheStore.h"
+#include "exp/SuiteCache.h"
+#include "support/Binary.h"
+#include "support/Rng.h"
+#include "workload/Benchmarks.h"
+#include "workload/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+
+using namespace pbt;
+using namespace pbt::exp;
+using pbt_test::testCacheDir;
+
+namespace {
+
+/// Randomized benchmark programs, same generator shape as
+/// tests/exp_test.cpp.
+std::vector<Program> randomPrograms(uint64_t Seed, unsigned Count) {
+  Rng Gen(Seed);
+  std::vector<Program> Programs;
+  for (unsigned I = 0; I < Count; ++I) {
+    BenchSpec Spec;
+    Spec.Name = "rand" + std::to_string(I);
+    Spec.TargetSeconds = 0.2 + 0.1 * static_cast<double>(Gen.next() % 8);
+    Spec.Alternations = 1 + static_cast<unsigned>(Gen.next() % 40);
+    Spec.ColdCodeInsts = 2000 + static_cast<unsigned>(Gen.next() % 20000);
+    unsigned NumPhases = 1 + static_cast<unsigned>(Gen.next() % 3);
+    for (unsigned P = 0; P < NumPhases; ++P) {
+      PhaseSpec Phase;
+      Phase.Memory = (Gen.next() & 1) != 0;
+      Phase.Share = 1.0 / NumPhases;
+      Phase.BodyInsts = 40 + static_cast<unsigned>(Gen.next() % 300);
+      Phase.InCallee = (Gen.next() & 1) != 0;
+      Spec.Phases.push_back(Phase);
+    }
+    Programs.push_back(buildBenchmark(Spec));
+  }
+  return Programs;
+}
+
+TechniqueSpec loopTechnique() {
+  TransitionConfig TC;
+  TC.Strat = Strategy::Loop;
+  TC.MinSize = 45;
+  TunerConfig TU;
+  TU.IpcDelta = 0.2;
+  return TechniqueSpec::tuned(TC, TU);
+}
+
+/// Field-exact comparison of one prepared program against another:
+/// marks, cost samples, and the serialized flat image byte stream.
+void expectProgramsBitIdentical(const PreparedProgram &A,
+                                const PreparedProgram &B) {
+  ASSERT_TRUE(A.Image && A.Cost && A.Flat);
+  ASSERT_TRUE(B.Image && B.Cost && B.Flat);
+  const InstrumentedProgram &IA = *A.Image;
+  const InstrumentedProgram &IB = *B.Image;
+  EXPECT_EQ(IA.program().Name, IB.program().Name);
+  ASSERT_EQ(IA.marks().size(), IB.marks().size());
+  for (size_t M = 0; M < IA.marks().size(); ++M) {
+    EXPECT_EQ(IA.marks()[M].Proc, IB.marks()[M].Proc);
+    EXPECT_EQ(IA.marks()[M].Block, IB.marks()[M].Block);
+    EXPECT_EQ(IA.marks()[M].SuccIndex, IB.marks()[M].SuccIndex);
+    EXPECT_EQ(IA.marks()[M].Point, IB.marks()[M].Point);
+    EXPECT_EQ(IA.marks()[M].PhaseType, IB.marks()[M].PhaseType);
+  }
+  const Program &Prog = IA.program();
+  for (const Procedure &Proc : Prog.Procs)
+    for (const BasicBlock &BB : Proc.Blocks)
+      EXPECT_EQ(A.Cost->blockInsts(Proc.Id, BB.Id),
+                B.Cost->blockInsts(Proc.Id, BB.Id));
+  BinaryWriter WA, WB;
+  A.Flat->serialize(WA);
+  B.Flat->serialize(WB);
+  EXPECT_EQ(WA.buffer(), WB.buffer());
+}
+
+void expectSuitesBitIdentical(const PreparedSuite &A,
+                              const PreparedSuite &B) {
+  ASSERT_EQ(A.Images.size(), B.Images.size());
+  EXPECT_EQ(A.Names, B.Names);
+  for (size_t I = 0; I < A.Images.size(); ++I) {
+    PreparedProgram PA{A.Images[I], A.Costs[I], A.Flats[I]};
+    PreparedProgram PB{B.Images[I], B.Costs[I], B.Flats[I]};
+    expectProgramsBitIdentical(PA, PB);
+  }
+}
+
+/// Sorted names of the store's files matching \p Substr.
+std::vector<std::string> filesContaining(const std::string &Dir,
+                                         const char *Substr) {
+  std::vector<std::string> Names;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (const dirent *E = ::readdir(D))
+      if (std::strstr(E->d_name, Substr))
+        Names.push_back(E->d_name);
+    ::closedir(D);
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+bool readFileBytes(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  Out.clear();
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+bool writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-program round trips
+//===----------------------------------------------------------------------===//
+
+// Every program saved as part of a suite must load back individually —
+// through the per-program addressing that knows nothing about the
+// suite — bit-identical to the freshly prepared artifact.
+TEST(IncrementalStore, ProgEntryRoundTripBitIdentical) {
+  CacheStore Store(testCacheDir("incr_roundtrip.cache"));
+  std::vector<Program> Programs = randomPrograms(7, 4);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+
+  std::vector<PreparedProgram> Fresh = preparePrograms(Programs, MC, Tech, 42);
+  PreparedSuite Suite;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    Suite.Names.push_back(Programs[I].Name);
+    Suite.Images.push_back(Fresh[I].Image);
+    Suite.Costs.push_back(Fresh[I].Cost);
+    Suite.Flats.push_back(Fresh[I].Flat);
+  }
+  uint64_t SetHash = CacheStore::hashProgramSet(Programs);
+  uint64_t Key = CacheStore::suiteKey(SetHash, MC, Tech, 42);
+  ASSERT_TRUE(Store.save(Key, SetHash, MC, Tech, 42, Suite));
+  EXPECT_EQ(Store.progWrites(), Programs.size());
+
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    PreparedProgram Loaded =
+        Store.loadProgram(CacheStore::hashProgram(Programs[I]), MC, Tech, 42);
+    expectProgramsBitIdentical(Fresh[I], Loaded);
+  }
+  EXPECT_EQ(Store.progHits(), Programs.size());
+  EXPECT_EQ(Store.progMisses(), 0u);
+  EXPECT_EQ(Store.rejects(), 0u);
+}
+
+// A program never saved is a plain prog miss; a probe under a different
+// typing seed misses too (the seed is part of the key).
+TEST(IncrementalStore, ProgProbeMissesAreKeyed) {
+  CacheStore Store(testCacheDir("incr_probe.cache"));
+  std::vector<Program> Programs = randomPrograms(9, 2);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+
+  PreparedSuite Suite = prepareSuite({Programs[0]}, MC, Tech, 42);
+  uint64_t SetHash = CacheStore::hashProgramSet({Programs[0]});
+  ASSERT_TRUE(Store.save(CacheStore::suiteKey(SetHash, MC, Tech, 42), SetHash,
+                         MC, Tech, 42, Suite));
+
+  PreparedProgram Absent =
+      Store.loadProgram(CacheStore::hashProgram(Programs[1]), MC, Tech, 42);
+  EXPECT_TRUE(Absent.Image == nullptr);
+  PreparedProgram WrongSeed =
+      Store.loadProgram(CacheStore::hashProgram(Programs[0]), MC, Tech, 43);
+  EXPECT_TRUE(WrongSeed.Image == nullptr);
+  EXPECT_EQ(Store.progMisses(), 2u);
+  EXPECT_EQ(Store.rejects(), 0u); // Plain absence, nothing rejected.
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental suite assembly
+//===----------------------------------------------------------------------===//
+
+// The headline incremental contract: after an N-program suite is
+// cached, requesting the same suite plus one new benchmark runs the
+// static pipeline over exactly that benchmark and serves the other N
+// from their prog entries.
+TEST(IncrementalStore, AddOneBenchmarkPreparesExactlyOne) {
+  auto Store =
+      std::make_shared<CacheStore>(testCacheDir("incr_addone.cache"));
+  std::vector<Program> Programs = randomPrograms(13, 6);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+  std::vector<Program> Smaller(Programs.begin(), Programs.end() - 1);
+
+  SuiteCache First;
+  First.setStore(Store);
+  First.get(Smaller, MC, Tech, 42);
+  EXPECT_EQ(First.prepared(), 1u);
+  EXPECT_EQ(First.preparedPrograms(), Smaller.size());
+  EXPECT_EQ(Store->progWrites(), Smaller.size());
+
+  // A fresh in-memory cache (a new process in miniature) over the
+  // grown suite: one preparation, N prog-entry hits.
+  SuiteCache Second;
+  Second.setStore(Store);
+  PreparedSuite Grown = Second.get(Programs, MC, Tech, 42);
+  EXPECT_EQ(Second.prepared(), 1u);
+  EXPECT_EQ(Second.preparedPrograms(), 1u);
+  EXPECT_EQ(Second.programStoreHits(), Smaller.size());
+  EXPECT_EQ(Store->progWrites(), Programs.size()); // Only the new entry.
+
+  // And the assembled suite is bit-identical to preparing from scratch.
+  PreparedSuite Scratch = prepareSuite(Programs, MC, Tech, 42);
+  expectSuitesBitIdentical(Grown, Scratch);
+
+  // The grown suite's manifest was healed on the way out: a third
+  // process gets a whole-suite store hit with nothing prepared.
+  SuiteCache Third;
+  Third.setStore(Store);
+  Third.get(Programs, MC, Tech, 42);
+  EXPECT_EQ(Third.prepared(), 0u);
+  EXPECT_EQ(Third.storeHits(), 1u);
+  EXPECT_EQ(Third.preparedPrograms(), 0u);
+}
+
+// Programs shared between different suites resolve to the same prog
+// entries: a permuted subset of a cached suite — a different program
+// set, so a manifest miss — prepares nothing at all.
+TEST(IncrementalStore, CrossSuiteDedupeServesSharedPrograms) {
+  auto Store =
+      std::make_shared<CacheStore>(testCacheDir("incr_dedupe.cache"));
+  std::vector<Program> Programs = randomPrograms(19, 5);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+
+  SuiteCache First;
+  First.setStore(Store);
+  First.get(Programs, MC, Tech, 42);
+  ASSERT_EQ(First.preparedPrograms(), Programs.size());
+
+  // A different suite sharing two programs (reversed order on top, so
+  // the set hash differs even ignoring membership).
+  std::vector<Program> Other = {Programs[3], Programs[1]};
+  SuiteCache Second;
+  Second.setStore(Store);
+  PreparedSuite Assembled = Second.get(Other, MC, Tech, 42);
+  EXPECT_EQ(Second.preparedPrograms(), 0u);
+  EXPECT_EQ(Second.programStoreHits(), Other.size());
+  EXPECT_EQ(Second.prepared(), 0u);
+  // Served entirely from the store even though no manifest existed.
+  EXPECT_EQ(Second.storeHits(), 1u);
+  ASSERT_EQ(Assembled.Names.size(), 2u);
+  EXPECT_EQ(Assembled.Names[0], Programs[3].Name);
+  EXPECT_EQ(Assembled.Names[1], Programs[1].Name);
+
+  expectSuitesBitIdentical(Assembled, prepareSuite(Other, MC, Tech, 42));
+}
+
+// Techniques with the same preparation identity share prog entries;
+// a technique differing in preparation (typing error) does not.
+TEST(IncrementalStore, PreparationIdentityGovernsDedupe) {
+  auto Store =
+      std::make_shared<CacheStore>(testCacheDir("incr_prepid.cache"));
+  std::vector<Program> Programs = randomPrograms(23, 3);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+
+  SuiteCache Cache;
+  Cache.setStore(Store);
+  Cache.get(Programs, MC, loopTechnique(), 42);
+
+  // Same preparation, different tuner: in-memory representation aside,
+  // the store must not re-prepare anything.
+  TechniqueSpec Retuned = loopTechnique();
+  Retuned.Tuner.IpcDelta = 0.4;
+  SuiteCache SameIdentity;
+  SameIdentity.setStore(Store);
+  SameIdentity.get(Programs, MC, Retuned, 42);
+  EXPECT_EQ(SameIdentity.preparedPrograms(), 0u);
+
+  // Different preparation identity: everything re-prepares.
+  TechniqueSpec Erroneous = loopTechnique();
+  Erroneous.TypingError = 0.2;
+  SuiteCache OtherIdentity;
+  OtherIdentity.setStore(Store);
+  OtherIdentity.get(Programs, MC, Erroneous, 42);
+  EXPECT_EQ(OtherIdentity.preparedPrograms(), Programs.size());
+  EXPECT_EQ(OtherIdentity.programStoreHits(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption, gc, and version hygiene over prog entries
+//===----------------------------------------------------------------------===//
+
+// A corrupt prog entry is quarantined on first touch and the suite
+// heals incrementally: only the program behind the bad entry is
+// re-prepared, and the healed store serves clean hits again.
+TEST(IncrementalStore, CorruptProgEntryQuarantinedThenHealed) {
+  std::string Dir = testCacheDir("incr_corrupt.cache");
+  auto Store = std::make_shared<CacheStore>(Dir);
+  std::vector<Program> Programs = randomPrograms(29, 4);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+
+  SuiteCache Seed;
+  Seed.setStore(Store);
+  PreparedSuite Reference = Seed.get(Programs, MC, Tech, 42);
+
+  // Flip one payload byte of program 2's entry: header intact, checksum
+  // no longer matches.
+  std::string Path = Store->progPathFor(
+      CacheStore::progKey(CacheStore::hashProgram(Programs[2]), MC, Tech, 42));
+  std::string Bytes;
+  ASSERT_TRUE(readFileBytes(Path, Bytes));
+  ASSERT_GT(Bytes.size(), 100u);
+  Bytes[Bytes.size() - 1] ^= 0x5A;
+  ASSERT_TRUE(writeFileBytes(Path, Bytes));
+
+  // A fresh process: the manifest load trips over the bad entry
+  // (quarantining it), then the per-program probes serve the three
+  // intact entries and re-prepare exactly the corrupted one.
+  auto Cold = std::make_shared<CacheStore>(Dir);
+  SuiteCache Healer;
+  Healer.setStore(Cold);
+  PreparedSuite Healed = Healer.get(Programs, MC, Tech, 42);
+  EXPECT_EQ(Healer.prepared(), 1u);
+  EXPECT_EQ(Healer.preparedPrograms(), 1u);
+  EXPECT_EQ(Healer.programStoreHits(), Programs.size() - 1);
+  EXPECT_GE(Cold->rejects(), 1u);
+  EXPECT_EQ(Cold->quarantines(), 1u);
+  EXPECT_EQ(filesContaining(Dir, ".quarantined-checksum").size(), 1u);
+  expectSuitesBitIdentical(Healed, Reference);
+
+  // The rebuild healed the entry in place: the next cold process gets a
+  // clean whole-suite hit.
+  auto Verify = std::make_shared<CacheStore>(Dir);
+  SuiteCache Clean;
+  Clean.setStore(Verify);
+  Clean.get(Programs, MC, Tech, 42);
+  EXPECT_EQ(Clean.prepared(), 0u);
+  EXPECT_EQ(Clean.storeHits(), 1u);
+  EXPECT_EQ(Verify->rejects(), 0u);
+}
+
+// gc() treats prog entries as first-class: they are scanned alongside
+// manifests and a size bound of zero clears both kinds.
+TEST(IncrementalStore, GcScansAndEvictsProgEntries) {
+  std::string Dir = testCacheDir("incr_gc.cache");
+  CacheStore Store(Dir);
+  std::vector<Program> Programs = randomPrograms(31, 3);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+
+  PreparedSuite Suite = prepareSuite(Programs, MC, Tech, 42);
+  uint64_t SetHash = CacheStore::hashProgramSet(Programs);
+  uint64_t Key = CacheStore::suiteKey(SetHash, MC, Tech, 42);
+  ASSERT_TRUE(Store.save(Key, SetHash, MC, Tech, 42, Suite));
+
+  CacheStore::GcStats Stats = Store.gc(/*MaxBytes=*/1);
+  EXPECT_EQ(Stats.Scanned, 1u + Programs.size());
+  EXPECT_EQ(Stats.Evicted, 1u + Programs.size());
+  EXPECT_TRUE(filesContaining(Dir, ".pbt").empty());
+}
+
+// cleanMismatchedVersions removes stale-version prog entries and suite
+// manifests while leaving current entries and foreign files alone.
+TEST(IncrementalStore, CleanMismatchedVersionsCoversProgEntries) {
+  std::string Dir = testCacheDir("incr_versions.cache");
+  CacheStore Store(Dir);
+  std::vector<Program> Programs = randomPrograms(37, 2);
+  MachineConfig MC = MachineConfig::quadAsymmetric();
+  TechniqueSpec Tech = loopTechnique();
+
+  PreparedSuite Suite = prepareSuite(Programs, MC, Tech, 42);
+  uint64_t SetHash = CacheStore::hashProgramSet(Programs);
+  uint64_t Key = CacheStore::suiteKey(SetHash, MC, Tech, 42);
+  ASSERT_TRUE(Store.save(Key, SetHash, MC, Tech, 42, Suite));
+  size_t LiveFiles = filesContaining(Dir, ".pbt").size();
+
+  // Plant a stale-version prog entry and suite manifest: the real magic
+  // with a bumped format version, padded past the header.
+  auto plantStale = [&](const char *Name, const char *Magic,
+                        uint32_t Version) {
+    BinaryWriter W;
+    W.u32(static_cast<uint32_t>(Magic[0]) |
+          static_cast<uint32_t>(Magic[1]) << 8 |
+          static_cast<uint32_t>(Magic[2]) << 16 |
+          static_cast<uint32_t>(Magic[3]) << 24);
+    W.u32(Version + 1);
+    std::string Bytes = W.buffer();
+    Bytes.append(64, '\0');
+    ASSERT_TRUE(writeFileBytes(Dir + "/" + Name, Bytes));
+  };
+  plantStale("prog-00000000deadbeef.pbt", "PBTP",
+             CacheStore::ProgFormatVersion);
+  plantStale("suite-00000000deadbeef.pbt", "PBTS",
+             CacheStore::FormatVersion);
+  // A foreign file that merely looks store-shaped must survive.
+  ASSERT_TRUE(writeFileBytes(Dir + "/prog-00000000cafecafe.pbt",
+                             std::string("not a store file at all")));
+
+  EXPECT_EQ(Store.cleanMismatchedVersions(), 2u);
+  EXPECT_EQ(filesContaining(Dir, ".pbt").size(), LiveFiles + 1);
+
+  // Current entries still load after the clean.
+  PreparedProgram Loaded =
+      Store.loadProgram(CacheStore::hashProgram(Programs[0]), MC, Tech, 42);
+  EXPECT_TRUE(Loaded.Image != nullptr);
+
+  std::remove((Dir + "/prog-00000000cafecafe.pbt").c_str());
+}

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "RunIdentity.h"
+#include "TestDirs.h"
 
 #include "exp/CacheStore.h"
 #include "exp/Lab.h"
@@ -442,7 +443,8 @@ TEST(ScenarioSweep, AxisEnumeratesWithoutExtraPreparation) {
 // prepared() == 0, storeHits() > 0 — in a cold lab, with bit-identical
 // results.
 TEST(ScenarioSweep, ScenarioOnlySweepServedFromStore) {
-  auto Store = std::make_shared<CacheStore>("scenario_test_axis.cache");
+  auto Store = std::make_shared<CacheStore>(
+      pbt_test::testCacheDir("scenario_test_axis.cache"));
   SweepGrid G;
   G.Techniques = {TechniqueSpec::baseline()};
   G.Scenarios = {ScenarioSpec::batch(), ScenarioSpec::poisson(2),
