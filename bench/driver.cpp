@@ -19,7 +19,18 @@
 //   driver [--list] [--only=name1,name2] [--verify-ir] [--clean-cache]
 //          [--gc-cache] [--max-cache-bytes=N] [--max-cache-age-days=D]
 //          [--timeout-seconds=D] [--max-attempts=N]
-//          [--shard=k/n] [--merge=dir]
+//          [--shard=k/n] [--merge=dir] [--trace=dir] [--report]
+//
+// --trace=dir (or PBT_TRACE=dir; the flag wins) turns on the
+// deterministic simulated-time trace plane: every replay unit writes a
+// TRACE_*.json Chrome-trace file into dir (docs/OBSERVABILITY.md).
+// Traces are timestamped in simulated cycles, so they are
+// byte-identical across engines, thread counts, and cache temperature;
+// BENCH_*.json artifacts are unaffected either way.
+//
+// --report prints a human-readable run report (per-experiment table,
+// pipeline pass stats, cache and observability counters) after the
+// summary line.
 //
 // --verify-ir (or PBT_VERIFY_IR=1) turns on the self-verifying IR: the
 // VerifyPass static analysis runs after every pipeline pass during
@@ -72,7 +83,9 @@
 //
 // Writes BENCH_driver.json (schema pbt-driver-v4, docs/BENCH_SCHEMA.md)
 // with per-experiment status/attempts/duration, a failure summary, and
-// suite-cache statistics; exits non-zero when any experiment failed.
+// suite-cache statistics, plus PROFILE_driver.json (pbt-profile-v1) —
+// the full observability counter registry; exits non-zero when any
+// experiment failed.
 // Per-experiment BENCH_*.json files are unaffected by the guard and
 // stay byte-identical to the standalone binaries' output.
 //
@@ -85,6 +98,8 @@
 #include "exp/Guard.h"
 #include "exp/Harness.h"
 #include "exp/Shard.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
 #include "support/Env.h"
 #include "support/FaultInjection.h"
 #include "support/Json.h"
@@ -142,6 +157,7 @@ int main(int Argc, char **Argv) {
   bool SawShardFlag = false;
   exp::ShardSpec Shard; // 1/1 unless --shard or PBT_SHARD says otherwise.
   std::string MergeDir;
+  bool Report = false;
   std::vector<std::string> Only;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -206,16 +222,28 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "driver: --merge wants a shard directory\n");
         return 2;
       }
+    } else if (std::strncmp(Arg, "--trace=", 8) == 0) {
+      if (Arg[8] == '\0') {
+        std::fprintf(stderr, "driver: --trace wants a directory\n");
+        return 2;
+      }
+      obs::setTraceDir(Arg + 8);
+    } else if (std::strcmp(Arg, "--report") == 0) {
+      Report = true;
     } else {
       std::fprintf(stderr,
                    "usage: driver [--list] [--only=name1,name2] "
                    "[--verify-ir] [--clean-cache] [--gc-cache] "
                    "[--max-cache-bytes=N] [--max-cache-age-days=D] "
                    "[--timeout-seconds=D] [--max-attempts=N] "
-                   "[--shard=k/n] [--merge=dir]\n");
+                   "[--shard=k/n] [--merge=dir] [--trace=dir] "
+                   "[--report]\n");
       return 2;
     }
   }
+  // PBT_TRACE needs no handling here: obs seeds the trace directory
+  // from the environment for every binary, and the --trace flag above
+  // overwrites it — the flag wins, mirroring --shard/PBT_SHARD.
   // The flag wins over the environment; the environment only applies
   // when no flag was given (so wrapper scripts can export PBT_SHARD and
   // still be overridden per invocation).
@@ -401,6 +429,16 @@ int main(int Argc, char **Argv) {
 
   Json Runs = Json::array();
   Json Failures = Json::array();
+  // Rows for the optional --report table, mirroring the "experiments"
+  // array of BENCH_driver.json (Json has no member iteration, so the
+  // table renders from this source-of-truth copy).
+  struct ReportRow {
+    std::string Name;
+    std::string Status;
+    unsigned Attempts = 0;
+    double Seconds = 0;
+  };
+  std::vector<ReportRow> Rows;
   size_t Failed = 0;
   bool AbandonedRunner = false;
   for (const Experiment &E : Sorted) {
@@ -427,6 +465,7 @@ int main(int Argc, char **Argv) {
       Run["attempts"] = static_cast<uint64_t>(0);
       Run["duration_seconds"] = 0.0;
       Runs.push(std::move(Run));
+      Rows.push_back(ReportRow{E.Name, "skipped", 0, 0.0});
       continue;
     }
     if (ShardMode && E.Granularity == exp::ShardGranularity::Whole &&
@@ -440,6 +479,7 @@ int main(int Argc, char **Argv) {
       Run["duration_seconds"] = 0.0;
       Run["owner_shard"] = WholeOwner[E.Name];
       Runs.push(std::move(Run));
+      Rows.push_back(ReportRow{E.Name, "other-shard", 0, 0.0});
       continue;
     }
     std::printf("\n---- %s ----\n", E.Name);
@@ -483,6 +523,8 @@ int main(int Argc, char **Argv) {
     if (!R.Error.empty())
       Run["error"] = R.Error;
     Runs.push(std::move(Run));
+    Rows.push_back(
+        ReportRow{E.Name, R.statusName(), R.Attempts, R.DurationSeconds});
   }
   // With an abandoned runner possibly still live, neither the shared
   // pool pointer (the runner reads it on every harness lab() call) nor
@@ -589,6 +631,40 @@ int main(int Argc, char **Argv) {
     Root["pipeline"] = std::move(Pipeline);
   }
 
+  // Import the dump-time statistics into the observability registry so
+  // PROFILE_driver.json is a one-stop snapshot of the run's Plane-2
+  // state (docs/OBSERVABILITY.md). Under an abandoned runner every
+  // source here is racy — the runner thread may still be incrementing
+  // lab and store counters — so the imports are skipped exactly like
+  // the suite_cache/pipeline blocks above and the profile carries only
+  // what was safely accumulated before the timeout.
+  if (!AbandonedRunner) {
+    obs::CounterRegistry &Reg = obs::CounterRegistry::global();
+    Reg.set("suite_cache.memory_hits", MemoryHits);
+    Reg.set("suite_cache.store_hits", StoreHits);
+    Reg.set("suite_cache.prepared", PreparedCount);
+    Reg.set("suite_cache.prepared_programs", PreparedProgramCount);
+    Reg.set("suite_cache.program_store_hits", ProgramStoreHits);
+    if (Store) {
+      Reg.set("store.hits", Store->hits());
+      Reg.set("store.misses", Store->misses());
+      Reg.set("store.rejects", Store->rejects());
+      Reg.set("store.writes", Store->writes());
+      Reg.set("store.quarantines", Store->quarantines());
+      Reg.set("store.lock_timeouts", Store->lockTimeouts());
+      Reg.set("store.prog_hits", Store->progHits());
+      Reg.set("store.prog_misses", Store->progMisses());
+      Reg.set("store.prog_writes", Store->progWrites());
+    }
+    for (const PassStats &P : cumulativePipelineStats().Passes) {
+      Reg.set("pipeline." + P.Name + ".invocations", P.Invocations);
+      Reg.set("pipeline." + P.Name + ".programs_changed",
+              P.ProgramsChanged);
+      Reg.setMetric("pipeline." + P.Name + ".seconds", P.Seconds);
+    }
+    Reg.set("driver.experiments_failed", Failed);
+  }
+
   if (AbandonedRunner)
     std::printf("\n== driver summary: batch aborted after a timeout, "
                 "failed=%zu (suite-cache counters unavailable) ==\n",
@@ -621,6 +697,51 @@ int main(int Argc, char **Argv) {
   } else {
     std::printf("wrote %s\n", SummaryPath.c_str());
   }
+
+  // Plane-2 self-profile: the full counter registry, always written
+  // (the registry is mutex/atomic-guarded, so the snapshot is safe even
+  // beside an abandoned runner — it just omits the skipped dump-time
+  // imports then). Wall-clock-tainted by design and excluded from every
+  // byte-identity check, like BENCH_driver.json.
+  {
+    Json Profile = Json::object();
+    Profile["schema"] = "pbt-profile-v1";
+    Profile["abandoned_runner"] = AbandonedRunner;
+    Profile["registry"] = obs::CounterRegistry::global().snapshotJson();
+    std::string ProfilePath =
+        ShardMode ? "PROFILE_driver.shard-" + Shard.label() + ".json"
+                  : "PROFILE_driver.json";
+    if (!writeJsonFile(ProfilePath, Profile)) {
+      std::perror(ProfilePath.c_str());
+      Exit = 1;
+    } else {
+      std::printf("wrote %s\n", ProfilePath.c_str());
+    }
+  }
+
+  if (Report) {
+    std::printf("\n== run report ==\n");
+    std::printf("%-28s %-12s %8s %10s\n", "experiment", "status",
+                "attempts", "seconds");
+    for (const ReportRow &Row : Rows)
+      std::printf("%-28s %-12s %8u %10.2f\n", Row.Name.c_str(),
+                  Row.Status.c_str(), Row.Attempts, Row.Seconds);
+    obs::CounterRegistry &Reg = obs::CounterRegistry::global();
+    std::vector<std::pair<std::string, uint64_t>> Cs = Reg.counterValues();
+    std::vector<std::pair<std::string, double>> Ms = Reg.metricValues();
+    if (!Cs.empty()) {
+      std::printf("\n-- counters --\n");
+      for (const auto &KV : Cs)
+        std::printf("%-44s %12llu\n", KV.first.c_str(),
+                    static_cast<unsigned long long>(KV.second));
+    }
+    if (!Ms.empty()) {
+      std::printf("\n-- metrics --\n");
+      for (const auto &KV : Ms)
+        std::printf("%-44s %12.4f\n", KV.first.c_str(), KV.second);
+    }
+  }
+
   if (AbandonedRunner) {
     // A timed-out experiment's runner thread may still be executing its
     // body; normal teardown (static destructors, thread-pool joins)

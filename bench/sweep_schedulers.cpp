@@ -50,6 +50,11 @@ PBT_SWEEP_EXPERIMENT(sweep_schedulers) {
   G.Machines = {MachineConfig::quadAsymmetric(), SlowFirst};
   G.Workloads = {{/*Slots=*/18, /*Horizon=*/400 * H.scale(), /*Seed=*/77},
                  {/*Slots=*/6, /*Horizon=*/400 * H.scale(), /*Seed=*/78}};
+  // Per-cell scheduler telemetry (per-core-type insts/cycles/IPC) in
+  // the artifact: this grid is the natural consumer — the whole point
+  // is where each strategy spends instructions — and its exact Flat
+  // engine keeps the exported cycles deterministic (pbt-bench-v7).
+  G.ExportTelemetry = true;
   std::vector<SweepResult> Results = H.sweep(G);
 
   Table T({"machine", "scheduler", "slots", "throughput %", "avg time %",

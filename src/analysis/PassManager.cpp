@@ -10,6 +10,7 @@
 #include "analysis/NaturalLoops.h"
 #include "core/ErrorInjection.h"
 #include "core/Instrument.h"
+#include "obs/Clock.h"
 #include "sim/CostModel.h"
 #include "sim/FlatImage.h"
 #include "support/Env.h"
@@ -18,7 +19,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -210,10 +210,9 @@ public:
 
 double nowSeconds() {
   // Wall time for the per-pass Seconds counters only; never feeds a
-  // byte-compared artifact (see PassStats).
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // byte-compared artifact (see PassStats). Reads the vetted obs/Clock
+  // seam, the one file allowed to touch std::chrono.
+  return obs::monotonicSeconds();
 }
 
 } // namespace

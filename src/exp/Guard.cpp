@@ -6,6 +6,9 @@
 
 #include "exp/Guard.h"
 
+#include "obs/Clock.h"
+#include "obs/Counters.h"
+
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -118,20 +121,26 @@ GuardedResult pbt::exp::runGuarded(const std::function<int()> &Fn,
                                    const GuardOptions &Opts) {
   GuardedResult Result;
   unsigned MaxAttempts = Opts.MaxAttempts < 1 ? 1 : Opts.MaxAttempts;
-  auto Start = std::chrono::steady_clock::now();
+  // Wall time through the vetted obs/Clock seam; DurationSeconds only
+  // surfaces in artifacts excluded from byte-identity checks.
+  double Start = obs::monotonicSeconds();
+  obs::CounterRegistry &Reg = obs::CounterRegistry::global();
 
   for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
     ++Result.Attempts;
+    Reg.add("guard.attempts", 1);
     AttemptResult A = runOnce(Fn, Opts.TimeoutSeconds);
     if (A.TimedOut) {
       // The wedged attempt may still be running and mutating shared
       // caches; retrying alongside it would race, so stop here.
+      Reg.add("guard.timeouts", 1);
       Result.St = GuardedResult::Status::Timeout;
       Result.ExitCode = -1;
       Result.Error.clear();
       break;
     }
     if (A.Threw) {
+      Reg.add("guard.exceptions", 1);
       Result.St = GuardedResult::Status::Exception;
       Result.ExitCode = -1;
       Result.Error = std::move(A.Error);
@@ -147,8 +156,6 @@ GuardedResult pbt::exp::runGuarded(const std::function<int()> &Fn,
     Result.Error.clear();
   }
 
-  Result.DurationSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  Result.DurationSeconds = obs::monotonicSeconds() - Start;
   return Result;
 }

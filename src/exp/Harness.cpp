@@ -6,6 +6,8 @@
 
 #include "exp/Harness.h"
 
+#include "obs/Span.h"
+#include "obs/Trace.h"
 #include "support/Env.h"
 #include "support/Hashing.h"
 
@@ -47,7 +49,14 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
   std::printf("== %s ==\n(reproduces %s; PBT_BENCH_SCALE=%.2f scales the "
               "simulated horizon)\n\n",
               Title.c_str(), PaperRef.c_str(), Scale);
-  // v6: the sharded experiment fabric — shard-mode partial artifacts
+  // Plane-1 tracing names files after the experiment; constructing the
+  // harness scopes subsequent sweeps (and resets the per-experiment
+  // trace-group counter).
+  obs::setTraceExperiment(Name);
+  // v7: cells may carry an opt-in "telemetry" block (per-core-type
+  // instructions/cycles and IPC, SweepGrid::ExportTelemetry); grids
+  // that do not opt in emit cells unchanged from v6. v6: the sharded
+  // experiment fabric — shard-mode partial artifacts
   // carry a "shard" block and per-sweep unit counts in place of cells
   // (full single-process and merged artifacts are unchanged in content
   // beyond the version tag). v5 gave sweeps[] the "engine" label
@@ -58,7 +67,7 @@ ExperimentHarness::ExperimentHarness(std::string NameIn, std::string Title,
   // per-cell "scheduler" label; v2 replaced live suite_cache counters
   // with the grid-pure distinct_preparations — see
   // docs/BENCH_SCHEMA.md.
-  Root["schema"] = "pbt-bench-v6";
+  Root["schema"] = "pbt-bench-v7";
   Root["bench"] = Name;
   Root["title"] = std::move(Title);
   Root["paper_ref"] = std::move(PaperRef);
@@ -193,6 +202,28 @@ SweepResult ExperimentHarness::sweep(Lab &L, const SweepGrid &Grid) {
     C["workload"] = workloadJson(Grid.Workloads[Cell.Workload]);
     C["typing_seed"] = Grid.TypingSeeds[Cell.TypingSeed];
     C["metrics"] = runMetrics(Cell.Run, Cell.Fair, Cell.Latency);
+    if (Grid.ExportTelemetry) {
+      // Opt-in per-cell scheduler telemetry (pbt-bench-v7): what ran
+      // on which core type. CyclesByType is a float accumulation, so
+      // exporting grids should stay on the exact engines to keep the
+      // artifact byte-identical across engine choices.
+      Json Tel = Json::object();
+      Json Insts = Json::array();
+      Json Cycles = Json::array();
+      Json Ipc = Json::array();
+      for (size_t Ct = 0; Ct < Cell.Run.InstsByType.size(); ++Ct) {
+        Insts.push(Cell.Run.InstsByType[Ct]);
+        Cycles.push(Cell.Run.CyclesByType[Ct]);
+        Ipc.push(Cell.Run.CyclesByType[Ct] > 0
+                     ? static_cast<double>(Cell.Run.InstsByType[Ct]) /
+                           Cell.Run.CyclesByType[Ct]
+                     : 0.0);
+      }
+      Tel["insts_by_type"] = std::move(Insts);
+      Tel["cycles_by_type"] = std::move(Cycles);
+      Tel["ipc_by_type"] = std::move(Ipc);
+      C["telemetry"] = std::move(Tel);
+    }
     if (Grid.WithBaseline) {
       C["baseline"] = runMetrics(Result.base(Cell),
                                  Result.BaselineFair[Cell.Workload],
@@ -299,6 +330,7 @@ int ExperimentHarness::finish() {
     // the merge directs.
     Path = RT->mergedArtifactPath(Name);
   }
+  obs::Span Write("harness.write_artifact");
   if (!writeJsonFile(Path, Root)) {
     std::perror(Path.c_str());
     return 1;

@@ -126,6 +126,12 @@ void pbt::exp::serializeRunResult(BinaryWriter &W, const RunResult &Run) {
   W.u32(static_cast<uint32_t>(Run.CoreBusy.size()));
   for (double Busy : Run.CoreBusy)
     W.f64(Busy);
+  W.u32(static_cast<uint32_t>(Run.InstsByType.size()));
+  for (uint64_t Insts : Run.InstsByType)
+    W.u64(Insts);
+  W.u32(static_cast<uint32_t>(Run.CyclesByType.size()));
+  for (double Cycles : Run.CyclesByType)
+    W.f64(Cycles);
 }
 
 bool pbt::exp::deserializeRunResult(BinaryReader &R, RunResult &Run) {
@@ -161,6 +167,14 @@ bool pbt::exp::deserializeRunResult(BinaryReader &R, RunResult &Run) {
   Run.CoreBusy.resize(Cores);
   for (double &Busy : Run.CoreBusy)
     Busy = R.f64();
+  uint32_t InstTypes = R.count(64, /*ElemBytes=*/8);
+  Run.InstsByType.resize(InstTypes);
+  for (uint64_t &Insts : Run.InstsByType)
+    Insts = R.u64();
+  uint32_t CycleTypes = R.count(64, /*ElemBytes=*/8);
+  Run.CyclesByType.resize(CycleTypes);
+  for (double &Cycles : Run.CyclesByType)
+    Cycles = R.f64();
   return !R.failed();
 }
 
@@ -181,7 +195,10 @@ std::string joinDir(const std::string &Dir, const std::string &File) {
 
 const char PayloadMagic[4] = {'P', 'B', 'C', 'P'};
 const char ManifestMagic[4] = {'P', 'B', 'S', 'M'};
-constexpr uint32_t PayloadVersion = 1;
+// v2: RunResult gained per-core-type telemetry (InstsByType,
+// CyclesByType). Shard fabrics are ephemeral within one driver
+// invocation, so a strict version check beats compatibility shims.
+constexpr uint32_t PayloadVersion = 2;
 constexpr uint32_t ManifestVersion = 1;
 
 void writeMagic(BinaryWriter &W, const char (&Magic)[4]) {

@@ -8,6 +8,7 @@
 
 #include "analysis/PassManager.h"
 #include "exp/CacheStore.h"
+#include "obs/Span.h"
 #include "support/Hashing.h"
 
 #include <stdexcept>
@@ -96,6 +97,7 @@ PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
       Todo.reserve(MissingIdx.size());
       for (size_t I : MissingIdx)
         Todo.push_back(Programs[I]);
+      obs::Span Prep("suite_cache.prepare");
       std::vector<PreparedProgram> Fresh =
           preparePrograms(Todo, Machine, Tech, TypingSeed);
       for (size_t J = 0; J < MissingIdx.size(); ++J)
@@ -136,6 +138,7 @@ PreparedSuite SuiteCache::get(const std::vector<Program> &Programs,
   if (!E.Suite) {
     ++Prepared;
     PreparedPrograms += Programs.size();
+    obs::Span Prep("suite_cache.prepare");
     E.Suite = std::make_shared<const PreparedSuite>(
         prepareSuite(Programs, Machine, Tech, TypingSeed));
   }

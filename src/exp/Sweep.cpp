@@ -6,6 +6,10 @@
 
 #include "exp/Sweep.h"
 
+#include "obs/Counters.h"
+#include "obs/Span.h"
+#include "obs/Trace.h"
+
 #include <map>
 #include <stdexcept>
 
@@ -211,6 +215,19 @@ SweepResult pbt::exp::runSweep(Lab &L, const SweepGrid &Grid) {
                     Grid.Workloads[Co.W].Horizon, &Iso, Schedulers[Co.C],
                     Scenarios[Co.N]});
   }
+  // Plane-1 trace identity: jobs are in plan order, so unit ids (and
+  // the sweep's group ordinal) are a pure function of the grid — trace
+  // files come out identical whatever thread runs which job. The group
+  // counter advances even when tracing is off, keeping file names
+  // stable across --trace on/off reruns of the same build.
+  uint64_t TraceGroup = obs::beginTraceGroup();
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    Jobs[I].TraceUnit = Plan.Ids[I];
+    Jobs[I].TraceGroup = TraceGroup;
+  }
+  obs::CounterRegistry::global().add("sweep.units_total", Plan.Jobs.size());
+  obs::CounterRegistry::global().add("sweep.units_owned", Jobs.size());
+  obs::Span Replay("sweep.replay");
   std::vector<RunResult> Runs = runWorkloads(Jobs);
   return assembleSweep(Grid, Plan, L.machine(), std::move(Runs));
 }
@@ -221,6 +238,11 @@ SweepShardStats pbt::exp::runSweepSharded(Lab &L, const SweepGrid &Grid,
   SweepJobPlan Plan = planSweepJobs(Grid);
   const std::vector<SchedulerSpec> &Schedulers = Grid.effectiveSchedulers();
   const std::vector<ScenarioSpec> &Scenarios = Grid.effectiveScenarios();
+
+  // Allocated before the owns-nothing early return so the group
+  // ordinal stays in lockstep with a single-process run's (every sweep
+  // call bumps it exactly once on every shard).
+  uint64_t TraceGroup = obs::beginTraceGroup();
 
   SweepShardStats Stats;
   Stats.UnitsTotal = Plan.Jobs.size();
@@ -279,6 +301,16 @@ SweepShardStats pbt::exp::runSweepSharded(Lab &L, const SweepGrid &Grid,
                     Grid.Workloads[Co.W].Horizon, &Iso, Schedulers[Co.C],
                     Scenarios[Co.N]});
   }
+  // Same trace identity as the full runSweep: unit ids come from the
+  // whole-grid plan, so a shard's TRACE_* files are byte-identical to
+  // the matching files of a single-process traced run.
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    Jobs[I].TraceUnit = Plan.Ids[Owned[I]];
+    Jobs[I].TraceGroup = TraceGroup;
+  }
+  obs::CounterRegistry::global().add("sweep.units_total", Plan.Jobs.size());
+  obs::CounterRegistry::global().add("sweep.units_owned", Owned.size());
+  obs::Span Replay("sweep.replay");
   std::vector<RunResult> Runs = runWorkloads(Jobs);
   for (size_t I = 0; I < Owned.size(); ++I)
     Record(Plan.Ids[Owned[I]], Runs[I]);

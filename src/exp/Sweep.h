@@ -83,6 +83,13 @@ struct SweepGrid {
   /// never appears in suite-cache keys. Isolated-runtime oracles (t_i)
   /// are measured by the Lab, always exact, regardless of this field.
   ExecEngine Engine = ExecEngine::Flat;
+  /// Export each cell's per-core-type scheduler telemetry
+  /// (RunResult::InstsByType/CyclesByType and the final IPC windows)
+  /// into the artifact as a "telemetry" block. Off by default: the
+  /// block adds bytes to every cell, and CyclesByType carries
+  /// FastReplay's ulp drift, so only exact-engine grids should opt in
+  /// (see docs/BENCH_SCHEMA.md, pbt-bench-v7).
+  bool ExportTelemetry = false;
 
   /// The scheduler axis with the empty-vector default applied. Both
   /// runSweep (execution) and the harness (cell labeling) index

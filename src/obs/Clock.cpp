@@ -1,0 +1,21 @@
+//===- obs/Clock.cpp - The single vetted wall-clock seam ------------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Clock.h"
+
+#include <chrono>
+
+namespace pbt {
+namespace obs {
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace obs
+} // namespace pbt

@@ -1,0 +1,88 @@
+//===- obs/Counters.cpp - Unified fabric counter registry -----------------===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Counters.h"
+
+namespace pbt {
+namespace obs {
+
+CounterRegistry &CounterRegistry::global() {
+  static CounterRegistry R;
+  return R;
+}
+
+std::atomic<uint64_t> &CounterRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot.reset(new std::atomic<uint64_t>(0));
+  return *Slot;
+}
+
+uint64_t CounterRegistry::value(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end()
+             ? 0
+             : It->second->load(std::memory_order_relaxed);
+}
+
+void CounterRegistry::addMetric(const std::string &Name, double Delta) {
+  std::lock_guard<std::mutex> G(Mu);
+  Metrics[Name] += Delta;
+}
+
+void CounterRegistry::setMetric(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> G(Mu);
+  Metrics[Name] = Value;
+}
+
+double CounterRegistry::metric(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Metrics.find(Name);
+  return It == Metrics.end() ? 0.0 : It->second;
+}
+
+Json CounterRegistry::snapshotJson() const {
+  std::lock_guard<std::mutex> G(Mu);
+  Json Snap;
+  Json C = Json::object();
+  for (const auto &KV : Counters)
+    C[KV.first] = KV.second->load(std::memory_order_relaxed);
+  Json M = Json::object();
+  for (const auto &KV : Metrics)
+    M[KV.first] = KV.second;
+  Snap["counters"] = std::move(C);
+  Snap["metrics"] = std::move(M);
+  return Snap;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+CounterRegistry::counterValues() const {
+  std::lock_guard<std::mutex> G(Mu);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &KV : Counters)
+    Out.emplace_back(KV.first,
+                     KV.second->load(std::memory_order_relaxed));
+  return Out;
+}
+
+std::vector<std::pair<std::string, double>>
+CounterRegistry::metricValues() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return std::vector<std::pair<std::string, double>>(Metrics.begin(),
+                                                     Metrics.end());
+}
+
+void CounterRegistry::reset() {
+  std::lock_guard<std::mutex> G(Mu);
+  Counters.clear();
+  Metrics.clear();
+}
+
+} // namespace obs
+} // namespace pbt

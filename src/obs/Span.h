@@ -1,0 +1,53 @@
+//===- obs/Span.h - RAII wall-clock spans into the registry -----*- C++ -*-===//
+//
+// Part of the phase-based-tuning reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plane-2 self-profiling spans: a Span brackets a fabric operation and,
+/// on destruction, bumps `<name>.calls` and accumulates elapsed wall
+/// time into the `<name>.seconds` metric of the global CounterRegistry.
+/// Time comes from the vetted obs/Clock seam, so spans are legal
+/// anywhere in src/ without touching the determinism allowlist — but
+/// span output may only surface in PROFILE_driver.json / --report,
+/// never in byte-compared artifacts.
+///
+///   { obs::Span S("cache_store.load"); ... }  // one timed call
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_OBS_SPAN_H
+#define PBT_OBS_SPAN_H
+
+#include "obs/Clock.h"
+#include "obs/Counters.h"
+
+#include <string>
+
+namespace pbt {
+namespace obs {
+
+/// Times a scope and folds it into the global registry on destruction.
+class Span {
+public:
+  explicit Span(std::string Name)
+      : Name(std::move(Name)), Start(monotonicSeconds()) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span() {
+    double Elapsed = monotonicSeconds() - Start;
+    CounterRegistry &R = CounterRegistry::global();
+    R.add(Name + ".calls", 1);
+    R.addMetric(Name + ".seconds", Elapsed);
+  }
+
+private:
+  std::string Name;
+  double Start;
+};
+
+} // namespace obs
+} // namespace pbt
+
+#endif // PBT_OBS_SPAN_H

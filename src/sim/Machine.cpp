@@ -6,6 +6,8 @@
 
 #include "sim/Machine.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -89,15 +91,35 @@ uint32_t Machine::spawn(std::shared_ptr<const InstrumentedProgram> IProg,
   Policy->onSpawn(*this, *Procs[Pid]);
   assert((Procs[Pid]->AffinityMask & Config.allCoresMask()) != 0 &&
          "policy onSpawn left no allowed core");
-  placeProcess(Pid);
+  uint32_t Core = placeProcess(Pid);
+  if (Trace)
+    Trace->spawn(Trace->cycles(Now), Pid, Core, Slot);
   return Pid;
 }
 
-void Machine::placeProcess(uint32_t Pid) {
+uint32_t Machine::placeProcess(uint32_t Pid) {
   Process &P = *Procs[Pid];
   uint32_t Core = Policy->selectCore(*this, P);
   assert(P.allowedOn(Core) && "policy violated the affinity mask");
   Queues[Core].push_back(Pid);
+  return Core;
+}
+
+void Machine::setTraceSink(obs::TraceSink *Sink) {
+  Trace = Sink;
+  if (!Trace)
+    return;
+  // Timestamps are simulated cycles on the reference core type (type
+  // 0), a pure function of quantized simulated time — never of cycle
+  // accumulators, which drift by ulps between engines.
+  Trace->setCyclesPerSecond(Config.CoreTypes[0].Frequency);
+  for (uint32_t Core = 0; Core < Config.numCores(); ++Core)
+    Trace->coreTrack(Core, Config.CoreTypes[coreType(Core)].Name +
+                               std::to_string(Core));
+  Trace->machineTrack(Config.numCores());
+  TraceCoreInsts.assign(Config.numCores(), 0);
+  TraceCoreCursor.assign(Config.numCores(), 0.0);
+  TraceWindows.reserve(64);
 }
 
 bool Machine::moveQueued(uint32_t Pid, uint32_t FromCore, uint32_t ToCore) {
@@ -112,6 +134,11 @@ bool Machine::moveQueued(uint32_t Pid, uint32_t FromCore, uint32_t ToCore) {
     return false;
   From.erase(It);
   Queues[ToCore].push_back(Pid);
+  if (Trace)
+    // Policy reassignment with its IPC evidence (the last execution
+    // window the policy could observe; 0 before the first window).
+    Trace->reassign(Trace->cycles(Now), Pid, FromCore, ToCore,
+                    Telem[Pid].WindowIpc);
   return true;
 }
 
@@ -142,10 +169,16 @@ void Machine::run(double Until) {
     while (!Events.empty() && Events.begin()->first <= Now) {
       std::function<void(Machine &)> Fn = std::move(Events.begin()->second);
       Events.erase(Events.begin());
+      if (Trace)
+        Trace->inject(Trace->cycles(Now));
       Fn(*this);
     }
 
     if (Now >= NextBalance) {
+      // Trace order: the balance instant precedes the reassign events
+      // the policy emits through moveQueued.
+      if (Trace)
+        Trace->balance(Trace->cycles(Now));
       Policy->balance(*this);
       NextBalance = Now + Sim.BalancePeriod;
     }
@@ -196,11 +229,19 @@ void Machine::run(double Until) {
             T.WindowCoreType = Ct;
           }
 
+          if (Trace)
+            TraceWindows.push_back(TraceWindow{Core, Pid, WindowInsts});
+
           if (R.Finished) {
             P.CompletionTime = Now + std::min(Used[Core], Budget) / Freq;
             Queues[Core].pop_front();
             if (P.MonActive)
               finishMonitor(P);
+            if (Trace)
+              // Timestamped at the quantum start (CompletionTime is
+              // cycle-derived and drifts between engines).
+              Trace->exitProcess(Trace->cycles(Now), Pid,
+                                 P.Stats.InstsRetired);
             Policy->onExit(*this, P);
             if (OnExit)
               OnExit(*this, P);
@@ -208,7 +249,9 @@ void Machine::run(double Until) {
           }
           if (R.Migrated) {
             Queues[Core].pop_front();
-            placeProcess(Pid);
+            uint32_t To = placeProcess(Pid);
+            if (Trace)
+              Trace->migrate(Trace->cycles(Now), Pid, Core, To);
             continue;
           }
           // Timeslice exhausted: round-robin rotate.
@@ -220,9 +263,37 @@ void Machine::run(double Until) {
         break;
     }
 
+    if (Trace)
+      flushTraceWindows();
+
     Policy->onQuantumEnd(*this);
     Now += Sim.Timeslice;
   }
+}
+
+void Machine::flushTraceWindows() {
+  if (TraceWindows.empty())
+    return;
+  // Slice widths are instruction-proportional shares of the quantum.
+  // Everything here is a function of quantized Now, config constants,
+  // and integer instruction counts — identical across engines, so the
+  // emitted bytes are too. Cycle-exact widths would not be.
+  double QuantumStart = Trace->cycles(Now);
+  double QuantumCycles = Trace->cycles(Sim.Timeslice);
+  std::fill(TraceCoreInsts.begin(), TraceCoreInsts.end(), 0);
+  std::fill(TraceCoreCursor.begin(), TraceCoreCursor.end(), 0.0);
+  for (const TraceWindow &W : TraceWindows)
+    TraceCoreInsts[W.Core] += W.Insts;
+  for (const TraceWindow &W : TraceWindows) {
+    uint64_t Total = TraceCoreInsts[W.Core];
+    double Dur = Total == 0 ? 0.0
+                            : QuantumCycles * (static_cast<double>(W.Insts) /
+                                               static_cast<double>(Total));
+    Trace->window(QuantumStart + TraceCoreCursor[W.Core], Dur, W.Core,
+                  W.Pid, W.Insts);
+    TraceCoreCursor[W.Core] += Dur;
+  }
+  TraceWindows.clear();
 }
 
 Machine::AdvanceResult Machine::advanceProcess(Process &P, uint32_t Core,

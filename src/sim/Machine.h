@@ -38,6 +38,10 @@
 
 namespace pbt {
 
+namespace obs {
+class TraceSink;
+}
+
 /// Which interpreter advances processes through their programs.
 enum class ExecEngine : uint8_t {
   /// Flat-image engine: one indexed load per block, superblock chains
@@ -184,6 +188,15 @@ public:
     return Telem[Pid];
   }
 
+  /// Attaches the Plane-1 trace sink (nullptr detaches). The machine
+  /// emits core-track metadata immediately and simulated-time events
+  /// from then on; the caller keeps ownership and must outlive the
+  /// machine or detach first. With no sink attached the only cost is a
+  /// pointer test per quantum/advance — no virtual calls, nothing in
+  /// the engines' block loops (see obs/Trace.h).
+  void setTraceSink(obs::TraceSink *Sink);
+  obs::TraceSink *traceSink() const { return Trace; }
+
 private:
   struct AdvanceResult {
     double CyclesUsed = 0;
@@ -252,8 +265,13 @@ private:
   /// Completes an in-flight monitoring session, delivering the sample.
   void finishMonitor(Process &P);
 
-  /// Enqueues a ready process via the scheduling policy.
-  void placeProcess(uint32_t Pid);
+  /// Enqueues a ready process via the scheduling policy; returns the
+  /// selected core (trace hooks record placements).
+  uint32_t placeProcess(uint32_t Pid);
+
+  /// Emits the quantum's buffered execution windows as core-track
+  /// slices with instruction-proportional widths (see obs/Trace.h).
+  void flushTraceWindows();
 
   uint32_t coreType(uint32_t Core) const {
     return Config.Cores[Core].TypeId;
@@ -291,6 +309,21 @@ private:
            std::shared_ptr<const FlatImage>>
       FlatCache;
   Rng Gen;
+  /// Plane-1 trace sink; nullptr = tracing off (the common case).
+  obs::TraceSink *Trace = nullptr;
+  /// One buffered execution window (advanceProcess call) of the
+  /// current quantum; flushed into slices at quantum end so widths can
+  /// be instruction-proportional shares of the whole quantum.
+  struct TraceWindow {
+    uint32_t Core;
+    uint32_t Pid;
+    uint64_t Insts;
+  };
+  /// Per-quantum trace scratch (members so tracing allocates nothing
+  /// steady-state).
+  std::vector<TraceWindow> TraceWindows;
+  std::vector<uint64_t> TraceCoreInsts;
+  std::vector<double> TraceCoreCursor;
 };
 
 } // namespace pbt

@@ -8,6 +8,7 @@
 
 #include "analysis/BlockTyping.h"
 #include "analysis/PassManager.h"
+#include "obs/Trace.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -193,11 +194,14 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
                            const std::vector<double> &Isolated,
                            const SchedulerSpec &Sched,
                            const ScenarioSpec &Scenario,
-                           const CompletionSink &OnCompleted) {
+                           const CompletionSink &OnCompleted,
+                           obs::TraceSink *Trace) {
   RunResult Result;
   Result.Horizon = Horizon;
 
   Machine M(MachineCfg, Sim, Sched.makeScheduler());
+  if (Trace)
+    M.setTraceSink(Trace);
 
   std::vector<uint32_t> BenchOfPid;
   /// Scheduled arrival instant per pid for open-scenario jobs
@@ -207,10 +211,15 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
 
   auto Spawn = [&](uint32_t Bench, uint64_t Seed, int32_t Slot,
                    double Arrival) {
-    M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner, Seed,
-            Slot, /*InitialAffinity=*/0, Suite.Flats[Bench]);
+    uint32_t Pid =
+        M.spawn(Suite.Images[Bench], Suite.Costs[Bench], Suite.Tuner, Seed,
+                Slot, /*InitialAffinity=*/0, Suite.Flats[Bench]);
     BenchOfPid.push_back(Bench);
     ArrivalOfPid.push_back(Arrival);
+    if (Trace)
+      Trace->processTrack(Pid, "p" + std::to_string(Pid) + " " +
+                                   Suite.Names[Bench]);
+    return Pid;
   };
 
   auto Record = [&](Process &P) {
@@ -234,6 +243,11 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
     else
       Result.Completed.push_back(Job);
     ++Done;
+    if (Trace)
+      // Timestamped at the quantum start of the exit (see the machine's
+      // exit event); the cycle-derived CompletionTime stays out of the
+      // trace so bytes match across engines.
+      Trace->complete(Trace->cycles(M.now()), P.Pid, Job.Bench);
   };
 
   // Per-slot cursor into the batch job queues; on exit, start the next
@@ -256,8 +270,10 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
   std::deque<ScenarioArrival> Deferred;
   uint32_t InFlight = 0;
   auto Admit = [&](const ScenarioArrival &A) {
-    Spawn(A.Bench, A.Seed, /*Slot=*/-1, A.Time);
+    uint32_t Pid = Spawn(A.Bench, A.Seed, /*Slot=*/-1, A.Time);
     ++InFlight;
+    if (Trace)
+      Trace->admit(Trace->cycles(M.now()), Pid, A.Bench);
   };
 
   if (Scenario.isBatch()) {
@@ -287,6 +303,11 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
     });
     for (const ScenarioArrival &A : Arrivals)
       M.scheduleAt(A.Time, [&, A](Machine &) {
+        if (Trace)
+          // The stream's scheduled instant, not the quantized fire
+          // time: Admitted - Arrival is then visible in the trace as
+          // the admission delay.
+          Trace->arrival(Trace->cycles(A.Time), A.Bench);
         if (Scenario.MaxInFlight > 0 && InFlight >= Scenario.MaxInFlight)
           Deferred.push_back(A);
         else
@@ -318,13 +339,23 @@ RunResult pbt::runWorkload(const PreparedSuite &Suite, const Workload &W,
   Result.InstructionsRetired = M.totalInstructions();
   for (uint32_t Core = 0; Core < MachineCfg.numCores(); ++Core)
     Result.CoreBusy.push_back(M.coreBusyFraction(Core));
+  Result.InstsByType.assign(MachineCfg.numCoreTypes(), 0);
+  Result.CyclesByType.assign(MachineCfg.numCoreTypes(), 0.0);
   for (const auto &P : M.processes()) {
     Result.TotalSwitches += P->Stats.CoreSwitches;
     Result.TotalMarks += P->Stats.MarksFired;
     Result.CounterWaits += P->Stats.CounterWaits;
     Result.TotalOverheadCycles += P->Stats.OverheadCycles;
     Result.TotalCycles += P->Stats.CyclesConsumed;
+    const SchedTelemetry &T = M.telemetry(P->Pid);
+    for (uint32_t Ct = 0; Ct < MachineCfg.numCoreTypes(); ++Ct) {
+      Result.InstsByType[Ct] += T.InstsByType[Ct];
+      Result.CyclesByType[Ct] += T.CyclesByType[Ct];
+    }
   }
+
+  if (Trace)
+    Trace->runEnd(Trace->cycles(M.now()), Done, BenchOfPid.size());
 
   // Canonical row order: completion time with deterministic tie-breaks,
   // so per-benchmark tables come out identical however the simulation
@@ -349,10 +380,17 @@ pbt::runWorkloads(const std::vector<WorkloadJob> &Jobs) {
     const WorkloadJob &Job = Jobs[I];
     assert(Job.Suite && Job.W && Job.Machine && "incomplete workload job");
     static const std::vector<double> NoIsolated;
+    // One sink per replay unit, named by the job's deterministic unit
+    // id — traces are identical whatever thread runs the job, and
+    // whatever else runs concurrently.
+    std::unique_ptr<obs::TraceSink> Sink;
+    if (!Job.TraceUnit.empty())
+      Sink = obs::TraceSink::openForUnit(Job.TraceUnit, Job.TraceGroup);
     Results[I] = runWorkload(*Job.Suite, *Job.W, *Job.Machine, Job.Sim,
                              Job.Horizon,
                              Job.Isolated ? *Job.Isolated : NoIsolated,
-                             Job.Sched, Job.Scenario);
+                             Job.Sched, Job.Scenario,
+                             /*OnCompleted=*/nullptr, Sink.get());
   });
   return Results;
 }

@@ -208,6 +208,13 @@ struct RunResult {
   double TotalCycles = 0;
   /// Per-core busy fraction over the horizon (utilization diagnostic).
   std::vector<double> CoreBusy;
+  /// Machine-wide scheduler telemetry summed over all processes,
+  /// indexed by core type: what ran where (see SchedTelemetry).
+  /// CyclesByType is a float accumulation, so it carries FastReplay's
+  /// ulp-level drift — sweeps export it into artifacts only on request
+  /// (SweepGrid::ExportTelemetry) and exact-engine grids.
+  std::vector<uint64_t> InstsByType;
+  std::vector<double> CyclesByType;
 };
 
 /// Replays \p W on \p MachineCfg for \p Horizon simulated seconds under
@@ -232,6 +239,9 @@ struct RunResult {
 /// on the metrics layer above it). Buffered and sink-fed replays of
 /// the same job are bit-identical simulations; only where the
 /// CompletedJob goes differs.
+/// \p Trace, when non-null, attaches a Plane-1 trace sink for the
+/// replay (obs/Trace.h): the simulation is bit-identical with or
+/// without it — tracing only observes.
 using CompletionSink = std::function<void(const CompletedJob &)>;
 RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
                       const MachineConfig &MachineCfg, const SimConfig &Sim,
@@ -239,7 +249,8 @@ RunResult runWorkload(const PreparedSuite &Suite, const Workload &W,
                       const std::vector<double> &Isolated = {},
                       const SchedulerSpec &Sched = SchedulerSpec(),
                       const ScenarioSpec &Scenario = ScenarioSpec(),
-                      const CompletionSink &OnCompleted = nullptr);
+                      const CompletionSink &OnCompleted = nullptr,
+                      obs::TraceSink *Trace = nullptr);
 
 /// One workload replay request for the parallel runner. Pointees must
 /// outlive the runWorkloads call.
@@ -255,6 +266,14 @@ struct WorkloadJob {
   SchedulerSpec Sched;
   /// Traffic scenario of this replay (classic batch-at-zero by default).
   ScenarioSpec Scenario;
+  /// Plane-1 trace identity of this replay: when non-empty AND tracing
+  /// is enabled process-wide, the runner opens a per-unit sink named
+  /// TRACE_<experiment>.g<TraceGroup>.<TraceUnit>.json. Unit ids come
+  /// from the sweep plan, so file names — and contents — are
+  /// independent of thread scheduling. Deliberately the last members:
+  /// existing aggregate initializers default them to "off".
+  std::string TraceUnit;
+  uint64_t TraceGroup = 0;
 };
 
 /// Replays all jobs concurrently on the global thread pool. Each job is

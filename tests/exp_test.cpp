@@ -372,7 +372,7 @@ TEST(HarnessTest, SchedulerLabelsRecordedPreparationsExcludeAxis) {
   G.Workloads = {{4, 10, 5, 64}};
   H.sweep(H.lab(MachineConfig::quadAsymmetric()), G);
   std::string Artifact = H.json().dump(0);
-  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v6\""), std::string::npos);
+  EXPECT_NE(Artifact.find("\"schema\":\"pbt-bench-v7\""), std::string::npos);
   EXPECT_NE(Artifact.find("\"scheduler\":\"oblivious\""),
             std::string::npos);
   EXPECT_NE(Artifact.find("\"scheduler\":\"fastest-first\""),

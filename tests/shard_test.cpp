@@ -542,7 +542,7 @@ TEST(ShardFabricTest, PartialArtifactHasShardBlockAndNoTables) {
   EXPECT_NE(Partial.find("\"granularity\": \"sweep-cells\""),
             std::string::npos);
   EXPECT_NE(Partial.find("\"units_total\": 6"), std::string::npos);
-  EXPECT_NE(Partial.find("pbt-bench-v6"), std::string::npos);
+  EXPECT_NE(Partial.find("pbt-bench-v7"), std::string::npos);
   EXPECT_EQ(Partial.find("\"tables\""), std::string::npos);
   EXPECT_EQ(Partial.find("\"notes\""), std::string::npos);
   // The whole-granularity artifact is complete on its owner shard (the

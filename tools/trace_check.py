@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validates TRACE_*.json files (docs/OBSERVABILITY.md, Plane 1).
+
+Usage: trace_check.py FILE_OR_DIR [FILE_OR_DIR...]
+
+For every trace file (a directory argument expands to its TRACE_*.json
+members) the checker asserts, beyond JSON well-formedness:
+
+  - the Chrome trace-event envelope: a "traceEvents" list whose entries
+    all carry name/ph/pid/tid, with ts on every non-metadata event;
+  - process lifecycle: every exit/migrate/reassign/complete names a pid
+    that was spawned, no pid spawns or exits twice, and every admit's
+    pid is a spawn's pid;
+  - core-track exclusivity: the ph:"X" slices of one core track
+    (pid 1, one tid per core) never overlap — a core runs one process
+    per window share. Adjacent slices tolerate a magnitude-relative
+    epsilon: ts/dur are serialized with %.12g, so abutting slices can
+    disagree by a few parts in 1e12 of their magnitude, while a real
+    overlap is a full window share, many orders larger;
+  - accounting: the run_end event is present, its args.completed equals
+    the number of complete events, and its args.spawned equals the
+    number of spawn events;
+  - timestamps are finite, non-negative, and slice durations are >= 0.
+
+Exit status: 0 when every file passes, 1 on any violation, 2 on usage
+errors. Stdlib only.
+"""
+
+import json
+import math
+import os
+import sys
+
+
+def fail(path, msg, errors):
+    errors.append("%s: %s" % (path, msg))
+
+
+def check_file(path, errors):
+    before = len(errors)
+    try:
+        with open(path, "r") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, "unreadable or malformed JSON: %s" % e, errors)
+        return False
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "no traceEvents list", errors)
+        return False
+
+    spawned = set()
+    exited = set()
+    admitted_pids = []
+    completes = 0
+    spawn_count = 0
+    run_end = None
+    # (pid, tid) -> list of (ts, dur) for ph "X" slices.
+    slices = {}
+
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(ev, dict):
+            fail(path, "%s: not an object" % where, errors)
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(path, "%s: missing %r" % (where, key), errors)
+        name = ev.get("name")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            fail(path, "%s (%s): bad ts %r" % (where, name, ts), errors)
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if (not isinstance(dur, (int, float)) or not math.isfinite(dur)
+                    or dur < 0):
+                fail(path, "%s (%s): bad dur %r" % (where, name, dur), errors)
+                continue
+            slices.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+                (ts, dur, name))
+            continue
+        if ph != "i":
+            fail(path, "%s: unexpected ph %r" % (where, ph), errors)
+            continue
+        args = ev.get("args", {})
+        if name == "spawn":
+            pid = ev.get("tid")
+            spawn_count += 1
+            if pid in spawned:
+                fail(path, "%s: pid %s spawned twice" % (where, pid), errors)
+            spawned.add(pid)
+        elif name == "exit":
+            pid = ev.get("tid")
+            if pid not in spawned:
+                fail(path, "%s: exit of never-spawned pid %s" % (where, pid),
+                     errors)
+            if pid in exited:
+                fail(path, "%s: pid %s exited twice" % (where, pid), errors)
+            exited.add(pid)
+        elif name in ("migrate", "reassign"):
+            pid = ev.get("tid")
+            if pid not in spawned:
+                fail(path, "%s: %s of never-spawned pid %s"
+                     % (where, name, pid), errors)
+        elif name == "admit":
+            admitted_pids.append((where, args.get("pid")))
+        elif name == "complete":
+            completes += 1
+            if args.get("pid") not in spawned:
+                fail(path, "%s: complete of never-spawned pid %s"
+                     % (where, args.get("pid")), errors)
+        elif name == "run_end":
+            if run_end is not None:
+                fail(path, "%s: duplicate run_end" % where, errors)
+            run_end = args
+
+    for where, pid in admitted_pids:
+        if pid not in spawned:
+            fail(path, "%s: admit of never-spawned pid %s" % (where, pid),
+                 errors)
+
+    # Core tracks (pid 1) are exclusive: at most one process per core at
+    # any simulated instant. Process tracks (pid 2) mirror the same
+    # slices per process and are exclusive for the same reason — check
+    # every track uniformly.
+    for (pid, tid), lst in sorted(slices.items()):
+        lst.sort(key=lambda s: (s[0], s[1]))
+        prev_end = None
+        prev_name = None
+        for ts, dur, name in lst:
+            # %.12g keeps ~12 significant digits: three rounded values
+            # (prev ts, prev dur, this ts) can each be off by 5e-13 of
+            # their magnitude, so allow 1e-9 relative slack (plus an
+            # absolute floor near zero). A genuine double-booking is a
+            # whole window share — many orders of magnitude larger.
+            eps = max(1e-6, 1e-9 * abs(prev_end)) if prev_end else 1e-6
+            if prev_end is not None and ts < prev_end - eps:
+                fail(path, "track pid=%s tid=%s: slice %s@%.12g overlaps "
+                     "previous %s ending %.12g"
+                     % (pid, tid, name, ts, prev_name, prev_end), errors)
+            prev_end = ts + dur
+            prev_name = name
+
+    if run_end is None:
+        fail(path, "missing run_end event", errors)
+    else:
+        if run_end.get("completed") != completes:
+            fail(path, "run_end.completed=%r but %d complete events"
+                 % (run_end.get("completed"), completes), errors)
+        if run_end.get("spawned") != spawn_count:
+            fail(path, "run_end.spawned=%r but %d spawn events"
+                 % (run_end.get("spawned"), spawn_count), errors)
+
+    return len(errors) == before
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    paths = []
+    for arg in argv[1:]:
+        if os.path.isdir(arg):
+            members = sorted(
+                os.path.join(arg, n) for n in os.listdir(arg)
+                if n.startswith("TRACE_") and n.endswith(".json"))
+            if not members:
+                sys.stderr.write("trace_check: no TRACE_*.json in %s\n" % arg)
+                return 2
+            paths.extend(members)
+        else:
+            paths.append(arg)
+
+    errors = []
+    passed = 0
+    for path in paths:
+        if check_file(path, errors):
+            passed += 1
+    for msg in errors:
+        sys.stderr.write("trace_check: %s\n" % msg)
+    print("trace_check: %d/%d files pass" % (passed, len(paths)))
+    return 0 if passed == len(paths) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
